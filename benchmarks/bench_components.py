@@ -1,0 +1,201 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables: each bench isolates one design knob of
+the reproduction and reports its effect, using the cached experiment data
+where possible.
+
+* template-denoise cluster threshold ``T``;
+* RePaint resampling jumps vs plain replacement conditioning;
+* mask area fraction (the paper's ~25% inference scheme);
+* discrete-width rounding restarts in the solver (naive vs improved);
+* PCA explained-variance target in representative selection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.solver import SolverSettings, SquishLegalizer
+from repro.core.masks import NamedMask
+from repro.core.pipeline import PatternPaint, PatternPaintConfig
+from repro.core.selection import fit_pca
+from repro.core.template_denoise import TemplateDenoiseConfig, template_denoise
+from repro.diffusion.inpaint import InpaintConfig
+from repro.experiments.common import format_table
+from repro.experiments.fig9 import random_topology
+from repro.experiments.runs import patternpaint_run
+from repro.zoo import experiment_deck, finetuned, starter_patterns
+
+from .conftest import report
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return experiment_deck()
+
+
+@pytest.fixture(scope="module")
+def engine(deck):
+    return deck.engine()
+
+
+@pytest.fixture(scope="module")
+def cached_raw():
+    run = patternpaint_run("sd1-ft", use_cache=True)
+    return run.raw[:120]
+
+
+class TestDenoiseThresholdAblation:
+    def test_threshold_sweep(self, benchmark, engine, cached_raw):
+        def sweep():
+            rows = []
+            for threshold in (1, 2, 3, 4):
+                config = TemplateDenoiseConfig(threshold_px=threshold)
+                rng = np.random.default_rng(0)
+                clean = sum(
+                    engine.is_clean(template_denoise(raw, tpl, config, rng))
+                    for raw, tpl in cached_raw
+                )
+                rows.append([threshold, round(100 * clean / len(cached_raw), 1)])
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        report(
+            "Ablation: template-denoise threshold T",
+            format_table(["T (px)", "success (%)"], rows),
+        )
+        success = {t: s for t, s in rows}
+        # Snapping must help over the most conservative threshold by T=2
+        # (the default); extreme thresholds over-merge genuine edges.
+        assert success[2] >= success[1] - 5.0
+
+
+class TestRepaintJumpsAblation:
+    def test_resample_jumps(self, benchmark, deck, engine):
+        starters = starter_patterns(4)
+        mask = np.zeros(starters[0].shape, dtype=bool)
+        mask[:, 12:20] = True
+
+        def run_with(jumps):
+            pipeline = PatternPaint(
+                finetuned("sd1"),
+                deck,
+                PatternPaintConfig(
+                    inpaint=InpaintConfig(num_steps=12, resample_jumps=jumps),
+                    model_batch=16,
+                ),
+            )
+            rng = np.random.default_rng(1)
+            raw, _ = pipeline.inpaint_batch(
+                starters * 3, [mask] * (len(starters) * 3), rng
+            )
+            clean = sum(
+                engine.is_clean(template_denoise(r, t, rng=rng))
+                for r, t in zip(raw, starters * 3)
+            )
+            return clean, len(raw)
+
+        def sweep():
+            rows = []
+            for jumps in (1, 2):
+                clean, total = run_with(jumps)
+                rows.append([jumps, f"{clean}/{total}"])
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        report(
+            "Ablation: RePaint resampling jumps",
+            format_table(["jumps", "legal"], rows),
+        )
+        assert len(rows) == 2
+
+
+class TestMaskAreaAblation:
+    def test_mask_area_fraction(self, benchmark, deck, engine):
+        starters = starter_patterns(4)
+        shape = starters[0].shape
+
+        def band_mask(fraction):
+            mask = np.zeros(shape, dtype=bool)
+            rows_count = max(1, int(round(shape[0] * fraction)))
+            start = (shape[0] - rows_count) // 2
+            mask[start : start + rows_count, :] = True
+            return NamedMask(f"band-{fraction}", mask)
+
+        def sweep():
+            pipeline = PatternPaint(
+                finetuned("sd1"),
+                deck,
+                PatternPaintConfig(
+                    inpaint=InpaintConfig(num_steps=12), model_batch=16
+                ),
+            )
+            rows = []
+            for fraction in (0.25, 0.5, 0.75):
+                named = band_mask(fraction)
+                rng = np.random.default_rng(2)
+                raw, _ = pipeline.inpaint_batch(
+                    starters * 3, [named.mask] * (len(starters) * 3), rng
+                )
+                clean = sum(
+                    engine.is_clean(template_denoise(r, t, rng=rng))
+                    for r, t in zip(raw, starters * 3)
+                )
+                rows.append([fraction, f"{clean}/{len(raw)}"])
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        report(
+            "Ablation: mask area fraction (paper uses ~25%)",
+            format_table(["masked fraction", "legal"], rows),
+        )
+        assert len(rows) == 3
+
+
+class TestSolverRestartsAblation:
+    def test_discrete_restarts(self, benchmark, deck):
+        topologies = [
+            random_topology(12, np.random.default_rng(seed)) for seed in range(6)
+        ]
+
+        def run_with(restarts):
+            legalizer = SquishLegalizer(
+                deck, SolverSettings(max_iter=100, discrete_restarts=restarts)
+            )
+            return sum(
+                legalizer.legalize(
+                    t, width_px=48, height_px=48, rng=np.random.default_rng(0)
+                ).success
+                for t in topologies
+            )
+
+        def sweep():
+            return [[r, run_with(r)] for r in (0, 3)]
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        report(
+            "Ablation: solver discrete-width rounding restarts",
+            format_table(["restarts", f"legalized (of {len(topologies)})"], rows),
+        )
+        by_restarts = dict(rows)
+        assert by_restarts[3] >= by_restarts[0]
+
+
+class TestPcaVarianceAblation:
+    def test_explained_variance_target(self, benchmark):
+        run = patternpaint_run("sd1-ft", use_cache=True)
+        clips = run.library[:200]
+        flat = np.stack([c.ravel().astype(np.float64) for c in clips])
+
+        def sweep():
+            return [
+                [target, fit_pca(flat, target).num_components]
+                for target in (0.5, 0.9, 0.99)
+            ]
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        report(
+            "Ablation: PCA explained-variance target (Alg. 2 uses 0.9)",
+            format_table(["target", "components"], rows),
+        )
+        components = [r[1] for r in rows]
+        assert components == sorted(components)

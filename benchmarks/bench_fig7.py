@@ -1,0 +1,56 @@
+"""Figure 7 benchmark: iterative-generation curves.
+
+Renders the four panels (legal count, unique count, H1, H2 per iteration)
+and asserts the paper's trend claims: unique/H2 grow with iterations, the
+finetuned variants dominate, and H1 may mildly shrink (sub-region edits
+replicate topologies).
+"""
+
+import pytest
+
+from repro.experiments import fig7_trends, format_fig7, run_fig7
+from repro.metrics.entropy import h2_entropy
+from repro.experiments.runs import patternpaint_run
+
+from .conftest import report
+
+
+@pytest.fixture(scope="module")
+def fig7_series():
+    return run_fig7(use_cache=True)
+
+
+class TestFig7:
+    def test_fig7_report(self, benchmark, fig7_series):
+        series = benchmark.pedantic(
+            lambda: run_fig7(use_cache=True), rounds=1, iterations=1
+        )
+        report("Figure 7", format_fig7(series))
+        assert len(series) == 4
+
+    def test_trends_hold(self, benchmark, fig7_series):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        trends = fig7_trends(fig7_series)
+        assert trends["h2_grows_with_iterations"]
+        assert trends["unique_grows_with_iterations"]
+        assert trends["finetuned_h2_beats_base"]
+
+    def test_curves_cover_all_iterations(self, benchmark, fig7_series):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        lengths = {len(s.legal) for s in fig7_series}
+        assert len(lengths) == 1  # same number of stages everywhere
+        assert lengths.pop() >= 2  # init + at least one iteration
+
+    def test_legal_counts_are_cumulative(self, benchmark, fig7_series):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        for series in fig7_series:
+            assert all(
+                later >= earlier
+                for earlier, later in zip(series.legal, series.legal[1:])
+            )
+
+    def test_bench_h2_metric_on_final_library(self, benchmark):
+        run = patternpaint_run("sd1-ft", use_cache=True)
+        benchmark.pedantic(
+            lambda: h2_entropy(run.library), rounds=3, iterations=1
+        )

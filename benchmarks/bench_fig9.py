@@ -1,0 +1,90 @@
+"""Figure 9 benchmark: solver runtime & success rate vs topology size.
+
+Sweeps the nonlinear legalizer over growing random topologies under the
+three rule settings and checks the paper's scaling story: runtime grows
+steeply with size and rule complexity, success rate decays, and
+PatternPaint's template denoise stays orders of magnitude faster and flat.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.solver import SolverSettings, SquishLegalizer
+from repro.drc import basic_deck
+from repro.experiments import format_fig9, random_topology, run_fig9
+from repro.geometry import Grid
+
+from .conftest import report
+
+
+@pytest.fixture(scope="module")
+def fig9_data():
+    return run_fig9(use_cache=True)
+
+
+class TestFig9:
+    def test_fig9_report(self, benchmark, fig9_data):
+        curves, denoise = benchmark.pedantic(
+            lambda: run_fig9(use_cache=True), rounds=1, iterations=1
+        )
+        report("Figure 9", format_fig9(curves, denoise))
+        assert len(curves) == 3
+
+    def test_runtime_grows_with_size(self, benchmark, fig9_data):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        curves, _ = fig9_data
+        for curve in curves:
+            first = curve.points[0].runtime_s
+            last = curve.points[-1].runtime_s
+            assert last > first * 2, curve.setting
+
+    def test_discrete_rules_cost_more_than_default(self, benchmark, fig9_data):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        curves, _ = fig9_data
+        by_setting = {c.setting: c for c in curves}
+        default_total = sum(p.runtime_s for p in by_setting["default"].points)
+        discrete_total = sum(
+            p.runtime_s for p in by_setting["complex-discrete"].points
+        )
+        assert discrete_total > default_total
+
+    def test_success_rate_decays_with_size(self, benchmark, fig9_data):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        curves, _ = fig9_data
+        for curve in curves:
+            first = curve.points[0].success_rate
+            last = curve.points[-1].success_rate
+            assert last <= first
+
+    def test_large_discrete_topologies_mostly_fail(self, benchmark, fig9_data):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        curves, _ = fig9_data
+        discrete = next(c for c in curves if c.setting == "complex-discrete")
+        assert discrete.points[-1].success_rate <= 0.5  # paper: <50% past 60
+
+    def test_denoise_is_orders_of_magnitude_faster(self, benchmark, fig9_data):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        # Like the paper's plot: the denoise line sits near the *default*
+        # solver at tiny sizes but is orders of magnitude below the
+        # realistic (complex-discrete) setting, with the gap widening.
+        curves, denoise = fig9_data
+        discrete = next(c for c in curves if c.setting == "complex-discrete")
+        for solver_point, denoise_point in zip(
+            discrete.points[1:], denoise.points[1:]
+        ):
+            assert denoise_point.runtime_s < solver_point.runtime_s
+        assert denoise.points[-1].runtime_s * 10 < discrete.points[-1].runtime_s
+
+    def test_bench_solver_single_call(self, benchmark):
+        grid = Grid(nm_per_px=8.0, width_px=80, height_px=80)
+        deck = basic_deck(grid)
+        legalizer = SquishLegalizer(deck, SolverSettings(max_iter=60))
+        topology = random_topology(20, np.random.default_rng(0))
+        benchmark.pedantic(
+            lambda: legalizer.legalize(
+                topology, width_px=80, height_px=80,
+                rng=np.random.default_rng(0),
+            ),
+            rounds=2,
+            iterations=1,
+        )

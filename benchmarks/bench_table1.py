@@ -1,0 +1,81 @@
+"""Table I benchmark: performance comparison for pattern generation.
+
+Regenerates every row of Table I (starters, CUP, DiffPattern, the four
+PatternPaint variants in init and iterative form) and asserts the paper's
+qualitative claims:
+
+* squish+solver baselines produce (almost) no legal patterns under the
+  advanced deck, PatternPaint produces them at a healthy rate;
+* finetuning improves legality over the pretrained base models;
+* iterative generation raises unique counts and H2 beyond the initial
+  round, and far beyond the 20 starters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table1, run_table1
+
+from .conftest import report
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return run_table1(use_cache=True)
+
+
+def _row(rows, method):
+    return next(r for r in rows if r.method == method)
+
+
+class TestTable1:
+    def test_table1_report(self, benchmark, table1_rows):
+        rows = benchmark.pedantic(
+            lambda: run_table1(use_cache=True), rounds=1, iterations=1
+        )
+        report("Table I", format_table1(rows))
+        assert len(rows) == 11  # starters + 2 baselines + 4 init + 4 iter
+
+    def test_baselines_fail_on_advanced_deck(self, benchmark, table1_rows):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        cup = _row(table1_rows, "CUP")
+        diffpattern = _row(table1_rows, "DiffPattern")
+        patternpaint = [
+            r for r in table1_rows if r.method.startswith("PatternPaint")
+        ]
+        # Paper: CUP 0/20000 legal, DiffPattern 4/20000; PatternPaint in the
+        # thousands.  Shape: baselines' legality rate is tiny next to ours.
+        best_baseline_rate = max(
+            cup.legal / max(cup.generated, 1),
+            diffpattern.legal / max(diffpattern.generated, 1),
+        )
+        min_ours = min(r.legal / max(r.generated, 1) for r in patternpaint)
+        assert min_ours > best_baseline_rate + 0.02
+
+    def test_finetuning_boosts_legality(self, benchmark, table1_rows):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        base = [
+            _row(table1_rows, f"PatternPaint-{v}-base-init") for v in ("sd1", "sd2")
+        ]
+        tuned = [
+            _row(table1_rows, f"PatternPaint-{v}-ft-init") for v in ("sd1", "sd2")
+        ]
+        base_rate = np.mean([r.legal / max(r.generated, 1) for r in base])
+        tuned_rate = np.mean([r.legal / max(r.generated, 1) for r in tuned])
+        assert tuned_rate > base_rate  # paper: 1.87x
+
+    def test_iterative_extends_initial(self, benchmark, table1_rows):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        for variant in ("sd1-base", "sd2-base", "sd1-ft", "sd2-ft"):
+            init = _row(table1_rows, f"PatternPaint-{variant}-init")
+            iterative = _row(table1_rows, f"PatternPaint-{variant}-iter")
+            assert iterative.unique >= init.unique
+            assert iterative.legal >= init.legal
+            assert iterative.h2 >= init.h2 - 1e-9
+
+    def test_h2_exceeds_starters(self, benchmark, table1_rows):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        starters = _row(table1_rows, "Starter patterns")
+        for variant in ("sd1-ft", "sd2-ft"):
+            iterative = _row(table1_rows, f"PatternPaint-{variant}-iter")
+            assert iterative.h2 > starters.h2

@@ -1,0 +1,69 @@
+"""Table III benchmark: denoising-scheme success rates.
+
+Re-scores the cached raw initial-generation outputs under the three
+denoisers and asserts the paper's ordering: template-based >> NL-means >>
+no denoising (paper averages 8.37% / 0.86% / 0%).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.nlmeans import nl_means_denoise
+from repro.core.template_denoise import template_denoise
+from repro.experiments import format_table3, run_table3
+from repro.experiments.runs import patternpaint_run
+
+from .conftest import report
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    return run_table3(use_cache=True)
+
+
+class TestTable3:
+    def test_table3_report(self, benchmark, table3_rows):
+        rows = benchmark.pedantic(
+            lambda: run_table3(use_cache=True), rounds=1, iterations=1
+        )
+        report("Table III", format_table3(rows))
+        assert len(rows) == 5  # four models + average
+
+    def test_template_beats_nlmeans_beats_raw(self, benchmark, table3_rows):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        average = next(r for r in table3_rows if r.method == "Average")
+        # The paper's core Table III claim: template-based denoising is an
+        # order of magnitude above the conventional filter, and undenoised
+        # output is essentially never legal.  (At our scale NL-means and
+        # raw are both ~1%; the paper's 0.86% vs 0% micro-ordering between
+        # them is below our resolution — see EXPERIMENTS.md.)
+        assert average.template_success > 10 * max(
+            average.nlmeans_success, average.raw_success, 0.1
+        )
+        assert average.raw_success < 2.0
+        assert average.nlmeans_success < 5.0
+
+    def test_every_variant_benefits_from_template_denoise(self, benchmark, table3_rows):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # claim check, not a timing
+        for row in table3_rows:
+            if row.method == "Average":
+                continue
+            assert row.template_success >= row.nlmeans_success
+
+
+class TestDenoiserMicrobench:
+    @pytest.fixture(scope="class")
+    def raw_pair(self):
+        run = patternpaint_run("sd1-ft", use_cache=True)
+        assert run.raw, "cached run must carry raw samples"
+        return run.raw[0]
+
+    def test_bench_template_denoise(self, benchmark, raw_pair):
+        raw, template = raw_pair
+        benchmark.pedantic(
+            lambda: template_denoise(raw, template), rounds=10, iterations=1
+        )
+
+    def test_bench_nl_means(self, benchmark, raw_pair):
+        raw, _ = raw_pair
+        benchmark.pedantic(lambda: nl_means_denoise(raw), rounds=3, iterations=1)

@@ -1,0 +1,39 @@
+"""Render the 10 predefined inpainting masks (Figure 6).
+
+Writes one PNG per mask (overlaid on a starter pattern) plus an ASCII
+preview, and prints each mask's area fraction — about 25% per the paper's
+inference scheme.
+
+Run:  python examples/mask_gallery.py
+"""
+
+from pathlib import Path
+
+from repro.core.masks import default_mask_set, horizontal_mask_set
+from repro.io import clip_to_png, render_clip
+from repro.zoo import starter_patterns
+
+
+def main() -> None:
+    starter = starter_patterns(1)[0]
+    out = Path("mask_gallery")
+    out.mkdir(exist_ok=True)
+
+    for set_name, masks in [
+        ("default", default_mask_set(starter.shape)),
+        ("horizontal", horizontal_mask_set(starter.shape)),
+    ]:
+        print(f"\n{set_name} mask set ({len(masks)} masks):")
+        for named in masks:
+            clip_to_png(
+                out / f"{set_name}-{named.name}.png", starter, mask=named.mask
+            )
+            print(f"\n  {named.name} (area {100 * named.area_fraction:.0f}%):")
+            preview = render_clip(starter, mask=named.mask)
+            for line in preview.splitlines()[::4]:
+                print(f"    {line}")
+    print(f"\nwrote PNG overlays to {out}/")
+
+
+if __name__ == "__main__":
+    main()

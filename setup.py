@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment ships setuptools without the ``wheel`` package, so PEP 660
+editable installs are unavailable; ``pip install -e . --no-use-pep517`` (or
+``python setup.py develop``) uses this shim instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Baselines: rule-based generation, solver legalization, CUP, DiffPattern."""
+
+from .cup import CupConfig, CupGenerator, CupModel
+from .diffpattern import (
+    DiffPatternGenerator,
+    DiscreteDiffusion,
+    DiscreteDiffusionConfig,
+    default_diffpattern_unet,
+)
+from .rule_based import (
+    TrackGeneratorConfig,
+    TrackPatternGenerator,
+    generate_library,
+    pretrain_node_config,
+    starter_set,
+)
+from .solver import DeckParams, SolveResult, SolverSettings, SquishLegalizer
+
+__all__ = [
+    "CupConfig",
+    "CupGenerator",
+    "CupModel",
+    "DeckParams",
+    "DiffPatternGenerator",
+    "DiscreteDiffusion",
+    "DiscreteDiffusionConfig",
+    "SolveResult",
+    "SolverSettings",
+    "SquishLegalizer",
+    "TrackGeneratorConfig",
+    "TrackPatternGenerator",
+    "default_diffpattern_unet",
+    "generate_library",
+    "pretrain_node_config",
+    "starter_set",
+]

@@ -1,0 +1,484 @@
+"""Nonlinear-solver legalization of squish topologies (the baseline path).
+
+Squish-based generators (CUP, DiffPattern) output a topology matrix and
+delegate geometry to a solver: find scan-line spacings ``dx``/``dy`` such
+that the expanded layout satisfies the design rules.  Width and spacing
+rules are linear in the deltas, but
+
+* polygon area rules are *bilinear* (``sum_ij dy_i dx_j``) — hence the
+  nonlinear programming formulation (the paper implements it with scipy,
+  as do we: SLSQP with analytic Jacobians);
+* spacing upper bounds make the feasible region non-convex in practice;
+* discrete width sets turn the problem mixed-integer.  Following the
+  paper's "improved solver", we solve the continuous relaxation, round each
+  wire width to an allowed value (or classify it as a connector), pin the
+  widths and re-solve — with randomized rounding restarts.
+
+Section VI / Figure 9 measure exactly this module: runtime grows steeply
+with topology size and rule complexity, and the success rate collapses —
+the core motivation for PatternPaint's pixel-level approach.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from ..drc.decks import RuleDeck
+from ..drc.rules import (
+    DiscreteWidthRule,
+    EndToEndRule,
+    MaxAreaRule,
+    MaxSpacingRule,
+    MaxWidthRule,
+    MinAreaRule,
+    MinSpacingRule,
+    MinWidthRule,
+    WidthDependentSpacingRule,
+)
+from ..geometry.raster import connected_components
+from ..geometry.squish import SquishPattern
+
+__all__ = ["SolverSettings", "SolveResult", "DeckParams", "SquishLegalizer"]
+
+
+@dataclass(frozen=True)
+class SolverSettings:
+    """Legalizer knobs.
+
+    ``discrete_restarts`` counts randomized-rounding attempts for discrete
+    width sets (0 reproduces the naive solver that the paper found unable
+    to handle the advanced deck at all).
+    """
+
+    max_iter: int = 150
+    discrete_restarts: int = 3
+    px_per_cell: int = 4  # preferred delta, sets the default clip size
+    tol: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be positive")
+        if self.discrete_restarts < 0:
+            raise ValueError("discrete_restarts must be non-negative")
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one legalization call."""
+
+    success: bool
+    clip: np.ndarray | None
+    runtime_s: float
+    message: str
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class DeckParams:
+    """Solver-facing numeric view of a rule deck (extracted from its rules)."""
+
+    min_w_h: float = 1.0
+    max_w_h: float = np.inf
+    min_w_v: float = 1.0
+    max_w_v: float = np.inf
+    s_lo_h: float = 1.0
+    s_hi_h: float = np.inf
+    e2e_lo: float = 1.0
+    area_lo: float = 0.0
+    area_hi: float = np.inf
+    discrete_widths: tuple[int, ...] = ()
+    connector_min: float = np.inf
+
+    @classmethod
+    def from_deck(cls, deck: RuleDeck) -> "DeckParams":
+        values: dict = {}
+        for rule in deck.rules:
+            if isinstance(rule, MinWidthRule):
+                key = "min_w_h" if rule.axis == "h" else "min_w_v"
+                values[key] = max(values.get(key, 1.0), float(rule.min_px))
+            elif isinstance(rule, MaxWidthRule):
+                key = "max_w_h" if rule.axis == "h" else "max_w_v"
+                values[key] = min(values.get(key, np.inf), float(rule.max_px))
+            elif isinstance(rule, MinSpacingRule):
+                if rule.axis == "h":
+                    values["s_lo_h"] = max(
+                        values.get("s_lo_h", 1.0), float(rule.min_px)
+                    )
+                else:
+                    values["e2e_lo"] = max(
+                        values.get("e2e_lo", 1.0), float(rule.min_px)
+                    )
+            elif isinstance(rule, MaxSpacingRule) and rule.axis == "h":
+                values["s_hi_h"] = min(
+                    values.get("s_hi_h", np.inf), float(rule.max_px)
+                )
+            elif isinstance(rule, WidthDependentSpacingRule):
+                lows = [lo for lo, _ in rule.windows.values()]
+                highs = [hi for _, hi in rule.windows.values()]
+                lows.append(rule.default_window[0])
+                highs.append(rule.default_window[1])
+                values["s_lo_h"] = max(
+                    values.get("s_lo_h", 1.0), float(min(lows))
+                )
+                values["s_hi_h"] = min(
+                    values.get("s_hi_h", np.inf), float(max(highs))
+                )
+            elif isinstance(rule, EndToEndRule):
+                values["e2e_lo"] = max(
+                    values.get("e2e_lo", 1.0), float(rule.min_px)
+                )
+            elif isinstance(rule, MinAreaRule):
+                values["area_lo"] = max(
+                    values.get("area_lo", 0.0), float(rule.min_px2)
+                )
+            elif isinstance(rule, MaxAreaRule):
+                values["area_hi"] = min(
+                    values.get("area_hi", np.inf), float(rule.max_px2)
+                )
+            elif isinstance(rule, DiscreteWidthRule) and rule.axis == "h":
+                values["discrete_widths"] = tuple(sorted(rule.allowed_px))
+                if rule.exempt_at_or_above is not None:
+                    values["connector_min"] = float(rule.exempt_at_or_above)
+        return cls(**values)
+
+
+@dataclass
+class _Spans:
+    """Index spans of runs and gaps over topology cells for one axis."""
+
+    runs: list[tuple[int, int, int]] = field(default_factory=list)  # line, a, b
+    gaps: list[tuple[int, int, int]] = field(default_factory=list)
+
+
+def _spans_of(topology: np.ndarray, axis: str) -> _Spans:
+    mat = topology if axis == "h" else topology.T
+    spans = _Spans()
+    for line in range(mat.shape[0]):
+        row = mat[line]
+        padded = np.concatenate(([False], row, [False]))
+        changes = np.flatnonzero(padded[1:] != padded[:-1])
+        starts, stops = changes[0::2], changes[1::2]
+        for a, b in zip(starts, stops):
+            spans.runs.append((line, int(a), int(b)))
+        for i in range(len(starts) - 1):
+            spans.gaps.append((line, int(stops[i]), int(starts[i + 1])))
+    return spans
+
+
+class SquishLegalizer:
+    """Assigns legal geometry vectors to a topology matrix via NLP."""
+
+    def __init__(self, deck: RuleDeck, settings: SolverSettings = SolverSettings()):
+        self.deck = deck
+        self.settings = settings
+        self.params = DeckParams.from_deck(deck)
+        self._engine = deck.engine()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def legalize(
+        self,
+        topology: np.ndarray,
+        *,
+        width_px: int | None = None,
+        height_px: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> SolveResult:
+        """Solve for deltas; returns a DR-clean clip on success.
+
+        The final acceptance test is the full DRC engine on the rounded
+        integer layout, so "success" here means *actually legal*, not
+        merely solver convergence.
+        """
+        start = time.time()
+        topology = np.asarray(topology, dtype=bool)
+        if topology.ndim != 2 or not topology.any():
+            return SolveResult(
+                False, None, time.time() - start, "empty or invalid topology"
+            )
+        m, n = topology.shape
+        width = width_px or n * self.settings.px_per_cell
+        height = height_px or m * self.settings.px_per_cell
+        if n > width or m > height:
+            return SolveResult(
+                False,
+                None,
+                time.time() - start,
+                f"topology {m}x{n} cannot fit in {height}x{width}px",
+            )
+        rng = rng or np.random.default_rng(0)
+
+        relaxed = self._solve_continuous(topology, width, height, pinned=None)
+        attempts = 1
+        candidates: list[np.ndarray | None] = []
+        if relaxed is not None:
+            candidates.append(relaxed)
+
+        if self.params.discrete_widths and relaxed is not None:
+            for restart in range(self.settings.discrete_restarts):
+                pinned = self._round_widths(topology, relaxed, rng, restart)
+                solved = self._solve_continuous(
+                    topology, width, height, pinned=pinned
+                )
+                attempts += 1
+                if solved is not None:
+                    candidates.append(solved)
+
+        for z in candidates:
+            clip = self._to_clip(topology, z, width, height)
+            if clip is not None and self._engine.is_clean(clip):
+                return SolveResult(
+                    True, clip, time.time() - start, "legalized", attempts
+                )
+        return SolveResult(
+            False,
+            None,
+            time.time() - start,
+            "no DR-clean assignment found",
+            attempts,
+        )
+
+    # ------------------------------------------------------------------
+    # Continuous NLP
+    # ------------------------------------------------------------------
+    def _solve_continuous(
+        self,
+        topology: np.ndarray,
+        width: int,
+        height: int,
+        pinned: list[tuple[tuple[int, int], float]] | None,
+    ) -> np.ndarray | None:
+        m, n = topology.shape
+        p = self.params
+        n_vars = n + m
+
+        h_spans = _spans_of(topology, "h")
+        v_spans = _spans_of(topology, "v")
+
+        rows_a: list[np.ndarray] = []
+        rows_lo: list[float] = []
+        rows_hi: list[float] = []
+
+        def add(ind: np.ndarray, lo: float, hi: float) -> None:
+            rows_a.append(ind)
+            rows_lo.append(lo)
+            rows_hi.append(hi)
+
+        def x_ind(a: int, b: int) -> np.ndarray:
+            ind = np.zeros(n_vars)
+            ind[a:b] = 1.0
+            return ind
+
+        def y_ind(a: int, b: int) -> np.ndarray:
+            ind = np.zeros(n_vars)
+            ind[n + a : n + b] = 1.0
+            return ind
+
+        # Horizontal widths: lower bound from the smallest legal wire width;
+        # upper bound stays loose because a run may legitimately be a
+        # connector strap (the discrete rounding pass disambiguates).
+        for _, a, b in h_spans.runs:
+            lo = min(p.discrete_widths) if p.discrete_widths else p.min_w_h
+            hi = p.max_w_h if np.isfinite(p.max_w_h) else float(width)
+            add(x_ind(a, b), lo, hi)
+        for _, a, b in h_spans.gaps:
+            hi = p.s_hi_h if np.isfinite(p.s_hi_h) else float(width)
+            add(x_ind(a, b), p.s_lo_h, hi)
+
+        # Vertical segment lengths and end-to-end gaps.
+        for _, a, b in v_spans.runs:
+            hi = p.max_w_v if np.isfinite(p.max_w_v) else float(height)
+            add(y_ind(a, b), p.min_w_v, hi)
+        for _, a, b in v_spans.gaps:
+            add(y_ind(a, b), p.e2e_lo, float(height))
+
+        # Pinned (rounded) widths as tight windows.
+        if pinned:
+            for (a, b), target in pinned:
+                add(x_ind(a, b), target, target)
+
+        a_mat = np.asarray(rows_a)
+        lo_vec = np.asarray(rows_lo)
+        hi_vec = np.asarray(rows_hi)
+
+        # Stacked inequality: A z - lo >= 0 and hi - A z >= 0.
+        ineq_mat = np.vstack([a_mat, -a_mat])
+        ineq_rhs = np.concatenate([-lo_vec, hi_vec])
+
+        sum_x = np.zeros(n_vars)
+        sum_x[:n] = 1.0
+        sum_y = np.zeros(n_vars)
+        sum_y[n:] = 1.0
+
+        target_dx = width / n
+        target_dy = height / m
+        z0 = np.concatenate(
+            [np.full(n, target_dx), np.full(m, target_dy)]
+        )
+        targets = z0.copy()
+
+        def objective(z: np.ndarray) -> float:
+            d = z - targets
+            return float(d @ d)
+
+        def objective_jac(z: np.ndarray) -> np.ndarray:
+            return 2.0 * (z - targets)
+
+        constraints = [
+            {
+                "type": "ineq",
+                "fun": lambda z: ineq_mat @ z + ineq_rhs,
+                "jac": lambda z: ineq_mat,
+            },
+            {
+                "type": "eq",
+                "fun": lambda z: np.array(
+                    [sum_x @ z - width, sum_y @ z - height]
+                ),
+                "jac": lambda z: np.vstack([sum_x, sum_y]),
+            },
+        ]
+        constraints.extend(
+            self._area_constraints(topology, n, m)
+        )
+
+        bounds = [(1.0, float(max(width, height)))] * n_vars
+        result = optimize.minimize(
+            objective,
+            z0,
+            jac=objective_jac,
+            bounds=bounds,
+            constraints=constraints,
+            method="SLSQP",
+            options={"maxiter": self.settings.max_iter, "ftol": self.settings.tol},
+        )
+        if not result.success:
+            return None
+        return np.asarray(result.x)
+
+    def _area_constraints(self, topology: np.ndarray, n: int, m: int) -> list[dict]:
+        """Bilinear polygon-area window constraints (the nonlinear part)."""
+        p = self.params
+        if p.area_lo <= 0 and not np.isfinite(p.area_hi):
+            return []
+        labels, count = connected_components(topology.astype(np.uint8))
+        constraints: list[dict] = []
+        for comp in range(1, count + 1):
+            cell_mask = labels == comp  # (m, n) boolean
+
+            def area(z: np.ndarray, cm=cell_mask) -> float:
+                dx = z[:n]
+                dy = z[n:]
+                return float(dy @ (cm @ dx))
+
+            def area_jac(z: np.ndarray, cm=cell_mask) -> np.ndarray:
+                dx = z[:n]
+                dy = z[n:]
+                grad = np.empty(n + m)
+                grad[:n] = dy @ cm
+                grad[n:] = cm @ dx
+                return grad
+
+            if p.area_lo > 0:
+                constraints.append(
+                    {
+                        "type": "ineq",
+                        "fun": lambda z, f=area: f(z) - p.area_lo,
+                        "jac": lambda z, g=area_jac: g(z),
+                    }
+                )
+            if np.isfinite(p.area_hi):
+                constraints.append(
+                    {
+                        "type": "ineq",
+                        "fun": lambda z, f=area: p.area_hi - f(z),
+                        "jac": lambda z, g=area_jac: -g(z),
+                    }
+                )
+        return constraints
+
+    # ------------------------------------------------------------------
+    # Discrete rounding
+    # ------------------------------------------------------------------
+    def _round_widths(
+        self,
+        topology: np.ndarray,
+        relaxed: np.ndarray,
+        rng: np.random.Generator,
+        restart: int,
+    ) -> list[tuple[tuple[int, int], float]]:
+        """Pin every horizontal run to an allowed width or connector size.
+
+        Restart 0 rounds to the nearest allowed value; later restarts
+        randomize between the floor/ceil neighbours, which is what lets the
+        solver escape infeasible rounding combinations.
+        """
+        p = self.params
+        n = topology.shape[1]
+        allowed = np.asarray(p.discrete_widths, dtype=float)
+        pinned: list[tuple[tuple[int, int], float]] = []
+        for _, a, b in _spans_of(topology, "h").runs:
+            relaxed_width = float(relaxed[a:b].sum())
+            if (
+                np.isfinite(p.connector_min)
+                and relaxed_width >= (allowed.max() + p.connector_min) / 2.0
+            ):
+                continue  # connector strap: keep the relaxed window
+            if restart == 0 or allowed.size == 1:
+                target = float(allowed[np.argmin(np.abs(allowed - relaxed_width))])
+            else:
+                below = allowed[allowed <= relaxed_width]
+                above = allowed[allowed >= relaxed_width]
+                choices = []
+                if below.size:
+                    choices.append(float(below.max()))
+                if above.size:
+                    choices.append(float(above.min()))
+                target = float(rng.choice(choices))
+            pinned.append(((a, b), target))
+        return pinned
+
+    # ------------------------------------------------------------------
+    # Integerization
+    # ------------------------------------------------------------------
+    def _to_clip(
+        self,
+        topology: np.ndarray,
+        z: np.ndarray,
+        width: int,
+        height: int,
+    ) -> np.ndarray | None:
+        """Round deltas to integers, repair the totals, expand to a raster."""
+        m, n = topology.shape
+        dx = self._round_axis(z[:n], width)
+        dy = self._round_axis(z[n:], height)
+        if dx is None or dy is None:
+            return None
+        return SquishPattern(topology=topology, dx=dx, dy=dy).to_image()
+
+    @staticmethod
+    def _round_axis(values: np.ndarray, total: int) -> np.ndarray | None:
+        rounded = np.maximum(np.round(values).astype(np.int64), 1)
+        surplus = int(rounded.sum()) - total
+        # Distribute the rounding error over the largest entries.
+        order = np.argsort(-rounded)
+        i = 0
+        guard = 0
+        while surplus != 0 and guard < 10 * rounded.size:
+            idx = order[i % rounded.size]
+            if surplus > 0 and rounded[idx] > 1:
+                rounded[idx] -= 1
+                surplus -= 1
+            elif surplus < 0:
+                rounded[idx] += 1
+                surplus += 1
+            i += 1
+            guard += 1
+        if surplus != 0:
+            return None
+        return rounded

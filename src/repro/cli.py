@@ -1,0 +1,191 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands cover the full workflow a downstream user needs: generating
+rule-based libraries, running DRC, inspecting squish representations,
+rendering clips, building the model zoo, and regenerating every table and
+figure of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PatternPaint (DAC 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a rule-based clip library")
+    gen.add_argument("--deck", default="advanced",
+                     choices=["basic", "complex", "advanced"])
+    gen.add_argument("-n", "--count", type=int, default=20)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    drc = sub.add_parser("drc", help="run DRC over a clip library")
+    drc.add_argument("library", help=".npz produced by 'generate' or the API")
+    drc.add_argument("--deck", default="advanced",
+                     choices=["basic", "complex", "advanced"])
+    drc.add_argument("--verbose", action="store_true",
+                     help="print per-clip violation summaries")
+
+    squish_cmd = sub.add_parser("squish", help="inspect a clip's squish form")
+    squish_cmd.add_argument("library")
+    squish_cmd.add_argument("--index", type=int, default=0)
+
+    render = sub.add_parser("render", help="render a clip to PNG / ASCII")
+    render.add_argument("library")
+    render.add_argument("--index", type=int, default=0)
+    render.add_argument("--out", help="PNG output path (omit for ASCII)")
+
+    zoo = sub.add_parser("zoo", help="build / inspect cached model artifacts")
+    zoo.add_argument("action", choices=["build", "list"])
+
+    for table in ("table1", "table2", "table3", "fig7", "fig9"):
+        exp = sub.add_parser(table, help=f"reproduce {table} of the paper")
+        exp.add_argument("--no-cache", action="store_true")
+
+    fig8 = sub.add_parser("fig8", help="generate the Figure 8 gallery")
+    fig8.add_argument("--out-dir", default=None)
+    fig8.add_argument("--variations", type=int, default=5)
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from .baselines.rule_based import generate_library
+    from .drc.decks import deck_by_name
+    from .io.clips import save_clips
+    from .zoo.corpora import EXPERIMENT_GRID
+
+    deck = deck_by_name(args.deck, EXPERIMENT_GRID)
+    clips = generate_library(deck, args.count, np.random.default_rng(args.seed))
+    save_clips(args.out, clips, meta={"deck": args.deck, "seed": args.seed})
+    print(f"wrote {len(clips)} DR-clean clips ({args.deck} deck) to {args.out}")
+    return 0
+
+
+def _cmd_drc(args) -> int:
+    from .drc.decks import deck_by_name
+    from .io.clips import load_clips
+    from .zoo.corpora import EXPERIMENT_GRID
+
+    clips, _ = load_clips(args.library)
+    engine = deck_by_name(args.deck, EXPERIMENT_GRID).engine()
+    clean = 0
+    for i, clip in enumerate(clips):
+        report = engine.check(clip)
+        clean += report.is_clean
+        if args.verbose and not report.is_clean:
+            print(f"clip {i}: {report.summary()}")
+    rate = 100.0 * clean / max(len(clips), 1)
+    print(f"{clean}/{len(clips)} clips DR-clean ({rate:.1f}%) under '{args.deck}'")
+    return 0 if clean == len(clips) else 1
+
+
+def _cmd_squish(args) -> int:
+    from .geometry.squish import squish
+    from .io.clips import load_clips
+
+    clips, _ = load_clips(args.library)
+    pattern = squish(clips[args.index])
+    print(f"clip {args.index}: {pattern.height}x{pattern.width}px")
+    print(f"complexity (Cx, Cy): {pattern.complexity}")
+    print(f"dx: {pattern.dx.tolist()}")
+    print(f"dy: {pattern.dy.tolist()}")
+    print(f"topology:\n{pattern.topology.astype(int)}")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from .io.ascii_art import render_clip
+    from .io.clips import load_clips
+    from .io.png import clip_to_png
+
+    clips, _ = load_clips(args.library)
+    clip = clips[args.index]
+    if args.out:
+        clip_to_png(args.out, clip)
+        print(f"wrote {args.out}")
+    else:
+        print(render_clip(clip))
+    return 0
+
+
+def _cmd_zoo(args) -> int:
+    from .zoo.artifacts import artifacts_dir, build_all
+
+    if args.action == "build":
+        build_all(verbose=True)
+        print("zoo built")
+    else:
+        root = artifacts_dir()
+        entries = sorted(root.glob("*.npz"))
+        if not entries:
+            print(f"no artifacts under {root}")
+        for entry in entries:
+            print(f"{entry.name}  ({entry.stat().st_size // 1024} KiB)")
+    return 0
+
+
+def _cmd_experiment(name: str, args) -> int:
+    from . import experiments as exp
+
+    use_cache = not args.no_cache
+    if name == "table1":
+        print(exp.format_table1(exp.run_table1(use_cache=use_cache, verbose=True)))
+    elif name == "table2":
+        print(exp.format_table2(exp.run_table2(use_cache=use_cache)))
+    elif name == "table3":
+        print(exp.format_table3(exp.run_table3(use_cache=use_cache)))
+    elif name == "fig7":
+        print(exp.format_fig7(exp.run_fig7(use_cache=use_cache)))
+    elif name == "fig9":
+        curves, denoise = exp.run_fig9(use_cache=use_cache)
+        print(exp.format_fig9(curves, denoise))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from .experiments.fig8 import run_fig8
+
+    starter, variations, ascii_art = run_fig8(
+        out_dir=args.out_dir, n_variations=args.variations
+    )
+    print(ascii_art)
+    print(f"\n{len(variations)} legal variations generated")
+    if args.out_dir:
+        print(f"PNG gallery written to {args.out_dir}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "generate":
+        return _cmd_generate(args)
+    if command == "drc":
+        return _cmd_drc(args)
+    if command == "squish":
+        return _cmd_squish(args)
+    if command == "render":
+        return _cmd_render(args)
+    if command == "zoo":
+        return _cmd_zoo(args)
+    if command == "fig8":
+        return _cmd_fig8(args)
+    if command in ("table1", "table2", "table3", "fig7", "fig9"):
+        return _cmd_experiment(command, args)
+    raise AssertionError(f"unhandled command {command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""PatternPaint core: masks, denoisers, selection, library, pipeline."""
+
+from .expansion import ExpansionConfig, expand_pattern, expansion_windows
+from .library import PatternLibrary
+from .masks import (
+    MaskScheduler,
+    NamedMask,
+    all_masks,
+    default_mask_set,
+    horizontal_mask_set,
+    mask_area_fraction,
+)
+from .nlmeans import NlMeansConfig, nl_means_denoise, nl_means_filter
+from .pipeline import (
+    GenerationStats,
+    PatternPaint,
+    PatternPaintConfig,
+    PatternPaintResult,
+)
+from .selection import (
+    PcaReduction,
+    density_constraint,
+    fit_pca,
+    select_representative,
+)
+from .template_denoise import (
+    TemplateDenoiseConfig,
+    cluster_lines,
+    snap_lines,
+    template_denoise,
+)
+
+__all__ = [
+    "ExpansionConfig",
+    "GenerationStats",
+    "MaskScheduler",
+    "NamedMask",
+    "NlMeansConfig",
+    "PatternLibrary",
+    "PatternPaint",
+    "PatternPaintConfig",
+    "PatternPaintResult",
+    "PcaReduction",
+    "TemplateDenoiseConfig",
+    "all_masks",
+    "cluster_lines",
+    "default_mask_set",
+    "expand_pattern",
+    "expansion_windows",
+    "density_constraint",
+    "fit_pca",
+    "horizontal_mask_set",
+    "mask_area_fraction",
+    "nl_means_denoise",
+    "nl_means_filter",
+    "select_representative",
+    "snap_lines",
+    "template_denoise",
+]

@@ -1,0 +1,67 @@
+"""The pattern library: deduplicated, DR-clean clip storage.
+
+The iterative generation loop only admits *clean and new* samples (Section
+V-A); :class:`PatternLibrary` enforces the "new" part via exact pattern
+hashing and keeps insertion order so experiments can replay growth curves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..geometry.hashing import pattern_hash
+from ..metrics.diversity import LibrarySummary, summarize_library
+
+__all__ = ["PatternLibrary"]
+
+
+class PatternLibrary:
+    """An append-only, hash-deduplicated collection of layout clips."""
+
+    def __init__(self, clips: Iterable[np.ndarray] = (), *, name: str = "library"):
+        self.name = name
+        self._clips: list[np.ndarray] = []
+        self._hashes: set[str] = set()
+        self.add_many(clips)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, clip: np.ndarray) -> bool:
+        """Add one clip; returns True when it was new (kept)."""
+        digest = pattern_hash(clip)
+        if digest in self._hashes:
+            return False
+        self._hashes.add(digest)
+        self._clips.append(np.asarray(clip, dtype=np.uint8).copy())
+        return True
+
+    def add_many(self, clips: Iterable[np.ndarray]) -> int:
+        """Add clips in order; returns how many were new."""
+        return sum(1 for clip in clips if self.add(clip))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def clips(self) -> list[np.ndarray]:
+        """The stored clips (insertion order).  Do not mutate entries."""
+        return self._clips
+
+    def __len__(self) -> int:
+        return len(self._clips)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._clips)
+
+    def __contains__(self, clip: np.ndarray) -> bool:
+        return pattern_hash(clip) in self._hashes
+
+    def summary(self) -> LibrarySummary:
+        """Counts, uniqueness and H1/H2 of the current contents."""
+        return summarize_library(self._clips)
+
+    def copy(self) -> "PatternLibrary":
+        return PatternLibrary(self._clips, name=self.name)

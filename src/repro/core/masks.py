@@ -1,0 +1,142 @@
+"""Predefined inpainting mask sets (Figure 6).
+
+Two mask sets guide generation, ten masks total, each covering roughly 25%
+of the clip (the paper's inference scheme masks about a quarter of the image
+per inpainting call):
+
+* the **default set** (six masks) drives general pattern variation —
+  quadrant blocks, a centred block and a centred vertical band targeting
+  metal-wire modification and inter-track connections;
+* the **horizontal set** (four masks) — full-width horizontal bands —
+  is customized for vertical-track layouts to exercise end-to-end rules and
+  inner-track interactions.
+
+Masks are boolean arrays with ``True`` marking the region to *regenerate*.
+Within a set, masks are consumed sequentially across iterations (the paper's
+schedule: a pattern modified in one region is next modified in the adjacent
+region), which :class:`MaskScheduler` implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "NamedMask",
+    "default_mask_set",
+    "horizontal_mask_set",
+    "all_masks",
+    "MaskScheduler",
+    "mask_area_fraction",
+]
+
+
+@dataclass(frozen=True)
+class NamedMask:
+    """A named boolean repaint mask."""
+
+    name: str
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.mask, dtype=bool)
+        if m.ndim != 2:
+            raise ValueError(f"mask must be 2-D, got shape {m.shape}")
+        if not m.any():
+            raise ValueError(f"mask {self.name!r} selects no pixels")
+        if m.all():
+            raise ValueError(
+                f"mask {self.name!r} selects the whole clip; inpainting "
+                "needs unmasked context"
+            )
+        object.__setattr__(self, "mask", m)
+
+    @property
+    def area_fraction(self) -> float:
+        return float(self.mask.mean())
+
+
+def _block(shape: tuple[int, int], y0f: float, x0f: float, y1f: float, x1f: float) -> np.ndarray:
+    h, w = shape
+    m = np.zeros(shape, dtype=bool)
+    m[int(round(y0f * h)) : int(round(y1f * h)), int(round(x0f * w)) : int(round(x1f * w))] = True
+    return m
+
+
+def default_mask_set(shape: tuple[int, int]) -> list[NamedMask]:
+    """The six general-variation masks (quadrants, centre, vertical band)."""
+    return [
+        NamedMask("quad-top-left", _block(shape, 0.0, 0.0, 0.5, 0.5)),
+        NamedMask("quad-top-right", _block(shape, 0.0, 0.5, 0.5, 1.0)),
+        NamedMask("quad-bottom-left", _block(shape, 0.5, 0.0, 1.0, 0.5)),
+        NamedMask("quad-bottom-right", _block(shape, 0.5, 0.5, 1.0, 1.0)),
+        NamedMask("center-block", _block(shape, 0.25, 0.25, 0.75, 0.75)),
+        NamedMask("vertical-band", _block(shape, 0.0, 0.375, 1.0, 0.625)),
+    ]
+
+
+def horizontal_mask_set(shape: tuple[int, int]) -> list[NamedMask]:
+    """The four horizontal-band masks for vertical-track layouts."""
+    return [
+        NamedMask("hband-0", _block(shape, 0.00, 0.0, 0.25, 1.0)),
+        NamedMask("hband-1", _block(shape, 0.25, 0.0, 0.50, 1.0)),
+        NamedMask("hband-2", _block(shape, 0.50, 0.0, 0.75, 1.0)),
+        NamedMask("hband-3", _block(shape, 0.75, 0.0, 1.00, 1.0)),
+    ]
+
+
+def all_masks(shape: tuple[int, int]) -> list[NamedMask]:
+    """The full 10-mask catalogue (default set + horizontal set)."""
+    return default_mask_set(shape) + horizontal_mask_set(shape)
+
+
+def mask_area_fraction(masks: list[NamedMask]) -> float:
+    """Mean masked-area fraction across a mask list."""
+    if not masks:
+        return 0.0
+    return float(np.mean([m.area_fraction for m in masks]))
+
+
+class MaskScheduler:
+    """Sequential mask schedule within each mask set (Section IV-E.2).
+
+    Each *pattern* advances through its set in order: a pattern previously
+    modified with mask ``i`` is next modified with mask ``i + 1`` of the
+    same set, preserving earlier edits while moving attention to adjacent
+    regions.  Patterns are keyed by an arbitrary hashable id; new ids start
+    at position determined by the iteration so coverage rotates.
+    """
+
+    def __init__(self, shape: tuple[int, int], *, use_horizontal: bool = True):
+        self._sets = [default_mask_set(shape)]
+        if use_horizontal:
+            self._sets.append(horizontal_mask_set(shape))
+        self._positions: dict[object, tuple[int, int]] = {}
+        self._next_set = 0
+
+    @property
+    def mask_count(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def next_mask(self, key: object) -> NamedMask:
+        """The next mask in ``key``'s sequence (advances the schedule)."""
+        if key in self._positions:
+            set_idx, pos = self._positions[key]
+            pos = (pos + 1) % len(self._sets[set_idx])
+        else:
+            set_idx = self._next_set
+            self._next_set = (self._next_set + 1) % len(self._sets)
+            pos = 0
+        self._positions[key] = (set_idx, pos)
+        return self._sets[set_idx][pos]
+
+    def peek_mask(self, key: object) -> NamedMask:
+        """The mask :meth:`next_mask` would return, without advancing."""
+        if key in self._positions:
+            set_idx, pos = self._positions[key]
+            pos = (pos + 1) % len(self._sets[set_idx])
+        else:
+            set_idx, pos = self._next_set, 0
+        return self._sets[set_idx][pos]

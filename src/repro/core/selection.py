@@ -1,0 +1,122 @@
+"""PCA-based representative layout selection (Algorithm 2, Section IV-E).
+
+Iterative generation re-seeds each round with a *diverse* subset of the
+current pattern library.  Clips are flattened, reduced with PCA to the
+components explaining 90% of variance, and selected greedily: starting from
+a random sample, repeatedly take the candidate maximizing the sum of
+distances to everything already selected, subject to a user constraint
+(the paper uses a 40% density ceiling; any predicate over clips works,
+which is how controlled generation hooks in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..geometry.raster import density
+
+__all__ = ["PcaReduction", "fit_pca", "density_constraint", "select_representative"]
+
+
+@dataclass(frozen=True)
+class PcaReduction:
+    """A fitted PCA basis: ``transform`` projects flattened clips."""
+
+    mean: np.ndarray
+    components: np.ndarray  # (k, d)
+    explained_ratio: float
+
+    @property
+    def num_components(self) -> int:
+        return int(self.components.shape[0])
+
+    def transform(self, flat: np.ndarray) -> np.ndarray:
+        return (flat - self.mean) @ self.components.T
+
+
+def fit_pca(flat: np.ndarray, explained_variance: float = 0.9) -> PcaReduction:
+    """PCA keeping the smallest component count reaching the variance goal."""
+    if flat.ndim != 2:
+        raise ValueError(f"expected (n, d) data, got shape {flat.shape}")
+    if not 0.0 < explained_variance <= 1.0:
+        raise ValueError("explained_variance must lie in (0, 1]")
+    mean = flat.mean(axis=0)
+    centered = flat - mean
+    # SVD of the centered data: right singular vectors are the components.
+    _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+    power = singular**2
+    total = float(power.sum())
+    if total <= 0.0:
+        # Degenerate library (all identical clips): keep one component.
+        return PcaReduction(mean=mean, components=vt[:1], explained_ratio=1.0)
+    cumulative = np.cumsum(power) / total
+    k = int(np.searchsorted(cumulative, explained_variance) + 1)
+    k = min(k, vt.shape[0])
+    return PcaReduction(
+        mean=mean,
+        components=vt[:k],
+        explained_ratio=float(cumulative[k - 1]),
+    )
+
+
+def density_constraint(max_density: float = 0.4) -> Callable[[np.ndarray], bool]:
+    """The paper's selection constraint: metal density at most 40%."""
+
+    def constraint(clip: np.ndarray) -> bool:
+        return density(clip) <= max_density
+
+    return constraint
+
+
+def select_representative(
+    clips: Sequence[np.ndarray],
+    k: int,
+    rng: np.random.Generator,
+    *,
+    constraint: Callable[[np.ndarray], bool] | None = None,
+    explained_variance: float = 0.9,
+) -> list[int]:
+    """Algorithm 2: farthest-point selection in PCA space.
+
+    Returns indices into ``clips`` of up to ``k`` selected samples (fewer if
+    not enough clips satisfy the constraint).  Deterministic given ``rng``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    clips = list(clips)
+    if not clips:
+        return []
+    eligible = [
+        i
+        for i, clip in enumerate(clips)
+        if constraint is None or constraint(np.asarray(clip))
+    ]
+    if not eligible:
+        return []
+    if len(eligible) <= k:
+        return eligible
+
+    flat = np.stack(
+        [np.asarray(clips[i], dtype=np.float64).ravel() for i in eligible]
+    )
+    reduced = fit_pca(flat, explained_variance).transform(flat)
+
+    first = int(rng.integers(len(eligible)))
+    selected_local = [first]
+    remaining = set(range(len(eligible))) - {first}
+    # Incremental sum-of-distances to the selected set.
+    dist_sum = np.linalg.norm(reduced - reduced[first], axis=1)
+
+    while len(selected_local) < k and remaining:
+        remaining_list = sorted(remaining)
+        best_local = remaining_list[
+            int(np.argmax(dist_sum[remaining_list]))
+        ]
+        selected_local.append(best_local)
+        remaining.discard(best_local)
+        dist_sum += np.linalg.norm(reduced - reduced[best_local], axis=1)
+
+    return [eligible[i] for i in selected_local]

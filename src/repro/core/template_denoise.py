@@ -1,0 +1,157 @@
+"""Template-based denoising (Algorithm 1, Section IV-D).
+
+Inpainting introduces noise along polygon edges (in the paper, from the
+latent VAE; here, from ancestral sampling and thresholding).  Edge noise
+shows up in squish space as *clusters of spurious scan lines* hugging the
+true edges.  The denoiser:
+
+1. extracts scan lines from the noisy generated clip,
+2. clusters lines closer than a threshold ``T``,
+3. snaps each cluster to the nearest scan line of the noise-free *template*
+   (the starter pattern used for the inpainting call) when one lies within
+   ``T``, otherwise keeps a representative line from the cluster,
+4. rebuilds the topology matrix on the surviving lines by per-cell majority
+   vote and reconstructs the image.
+
+Because only a sub-region changes during inpainting, most true edges exist
+in the template, so snapping removes the jitter while preserving genuinely
+new geometry (the cluster-representative fallback).  Table III measures a
+~10x legality gain over conventional NL-means denoising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.raster import as_binary
+from ..geometry.squish import extract_scan_lines, topology_from_lines
+
+__all__ = ["TemplateDenoiseConfig", "cluster_lines", "snap_lines", "template_denoise"]
+
+
+@dataclass(frozen=True)
+class TemplateDenoiseConfig:
+    """Knobs of Algorithm 1.
+
+    ``threshold_px`` is the cluster radius / snap distance ``T``.
+    ``vote_threshold`` is the majority-vote fraction used when rebuilding
+    topology cells from noisy pixels.  ``random_fallback`` selects the
+    cluster representative at random (the paper's choice) instead of the
+    deterministic median line.
+    """
+
+    threshold_px: int = 2
+    vote_threshold: float = 0.5
+    random_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold_px < 1:
+            raise ValueError("threshold_px must be at least 1")
+        if not 0.0 < self.vote_threshold < 1.0:
+            raise ValueError("vote_threshold must lie in (0, 1)")
+
+
+def cluster_lines(lines: np.ndarray, threshold: int) -> list[np.ndarray]:
+    """Greedy clustering of sorted line positions with diameter <= T."""
+    lines = np.sort(np.asarray(lines, dtype=np.int64))
+    clusters: list[np.ndarray] = []
+    start = 0
+    for i in range(1, lines.size + 1):
+        if i == lines.size or lines[i] - lines[start] > threshold:
+            clusters.append(lines[start:i])
+            start = i
+    return clusters
+
+
+def snap_lines(
+    noisy_lines: np.ndarray,
+    template_lines: np.ndarray,
+    extent: int,
+    threshold: int,
+    rng: np.random.Generator | None,
+) -> np.ndarray:
+    """Algorithm 1 lines 3-9 for one axis: cluster, match, replace.
+
+    Only *interior* scan lines participate in clustering and matching — the
+    clip borders are window edges, not polygon edges, and snapping a
+    near-border edge onto the border would delete geometry.  The returned
+    positions are strictly increasing and always contain ``0`` and
+    ``extent``.
+    """
+    noisy_lines = np.asarray(noisy_lines, dtype=np.int64)
+    template_lines = np.asarray(template_lines, dtype=np.int64)
+    noisy_interior = noisy_lines[(noisy_lines > 0) & (noisy_lines < extent)]
+    template_interior = template_lines[
+        (template_lines > 0) & (template_lines < extent)
+    ]
+    chosen: list[int] = []
+    for cluster in cluster_lines(noisy_interior, threshold):
+        # Every template line within the cluster's (threshold-padded) span
+        # is a genuine edge the cluster jitters around; keep them all.  Two
+        # real edges closer than the threshold would otherwise be merged.
+        lo = int(cluster.min()) - threshold
+        hi = int(cluster.max()) + threshold
+        matched = template_interior[
+            (template_interior >= lo) & (template_interior <= hi)
+        ]
+        if matched.size:
+            chosen.extend(int(v) for v in matched)
+        elif rng is not None:
+            chosen.append(int(rng.choice(cluster)))
+        else:
+            chosen.append(int(cluster[cluster.size // 2]))
+    chosen.extend((0, int(extent)))
+    surviving = np.unique(np.asarray(chosen, dtype=np.int64))
+    return surviving[(surviving >= 0) & (surviving <= extent)]
+
+
+def template_denoise(
+    noisy: np.ndarray,
+    template: np.ndarray,
+    config: TemplateDenoiseConfig = TemplateDenoiseConfig(),
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Denoise a generated clip against its starter template (Algorithm 1).
+
+    Parameters
+    ----------
+    noisy:
+        The post-inpainting clip (binary, or float model output which is
+        thresholded first).
+    template:
+        The noise-free starter pattern the inpainting call was conditioned
+        on.  Must have the same shape.
+    rng:
+        Source of randomness for the cluster-representative fallback; when
+        ``None`` and ``config.random_fallback`` is set, a fixed-seed
+        generator is used so the function stays deterministic by default.
+
+    Returns
+    -------
+    The denoised binary ``uint8`` clip.
+    """
+    noisy_bin = as_binary(noisy)
+    template_bin = as_binary(template)
+    if noisy_bin.shape != template_bin.shape:
+        raise ValueError(
+            f"noisy {noisy_bin.shape} and template {template_bin.shape} "
+            "shapes differ"
+        )
+    if config.random_fallback:
+        rng = rng if rng is not None else np.random.default_rng(0)
+    else:
+        rng = None
+
+    gen_x, gen_y = extract_scan_lines(noisy_bin)
+    tpl_x, tpl_y = extract_scan_lines(template_bin)
+    height, width = noisy_bin.shape
+
+    x_lines = snap_lines(gen_x, tpl_x, width, config.threshold_px, rng)
+    y_lines = snap_lines(gen_y, tpl_y, height, config.threshold_px, rng)
+
+    pattern = topology_from_lines(
+        noisy_bin, x_lines, y_lines, vote_threshold=config.vote_threshold
+    )
+    return pattern.to_image()

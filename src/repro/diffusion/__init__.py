@@ -1,0 +1,33 @@
+"""Diffusion substrate: schedules, DDPM training, sampling, inpainting."""
+
+from .ddpm import Ddpm, TrainResult, clips_to_model_space, model_space_to_clips
+from .finetune import (
+    FinetuneConfig,
+    clone_ddpm,
+    finetune,
+    generate_prior_set,
+    self_refine,
+)
+from .inpaint import InpaintConfig, inpaint
+from .sampler import ddim_sample, ddpm_sample, strided_timesteps
+from .schedule import NoiseSchedule, cosine_schedule, linear_schedule
+
+__all__ = [
+    "Ddpm",
+    "FinetuneConfig",
+    "InpaintConfig",
+    "NoiseSchedule",
+    "TrainResult",
+    "clips_to_model_space",
+    "clone_ddpm",
+    "cosine_schedule",
+    "ddim_sample",
+    "ddpm_sample",
+    "finetune",
+    "generate_prior_set",
+    "inpaint",
+    "linear_schedule",
+    "model_space_to_clips",
+    "self_refine",
+    "strided_timesteps",
+]

@@ -1,0 +1,294 @@
+"""Rule decks: the three design-rule settings of the paper's evaluation.
+
+The ablation in Section VI (Figure 9) sweeps three progressively harder
+settings, and the main experiments run against a full advanced deck standing
+in for Intel 18A sign-off rules:
+
+``basic``
+    The academic setting of DiffPattern/CUP: minimum width, minimum spacing
+    and an area window.  Solver-based legalization is easy here.
+
+``complex``
+    Adds direction-dependent width/spacing with minima *and maxima*, plus a
+    minimum end-to-end spacing.  Upper bounds make the solver's feasible
+    region non-convex.
+
+``advanced`` (a.k.a. the *node-A proxy*, our Intel-18A stand-in)
+    Adds R3.1-W discrete wire widths and R1.1-1.4-S width-pair-dependent
+    spacing windows (Figure 3's advanced rule set).  Discreteness turns
+    legalization into a mixed-integer problem — the regime where
+    PatternPaint's pixel-level approach wins.
+
+Every deck also carries the *track geometry* the rule-based generator and
+the proxy node are built around (vertical tracks on a fixed pitch), so
+generators, solvers and DRC all agree on one parameterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..geometry.grid import DEFAULT_GRID, Grid
+from .engine import DrcEngine
+from .rules import (
+    WIDE_CLASS,
+    DiscreteWidthRule,
+    EndToEndRule,
+    MaxAreaRule,
+    MaxSpacingRule,
+    MaxWidthRule,
+    MinAreaRule,
+    MinSpacingRule,
+    MinWidthRule,
+    NonEmptyRule,
+    Rule,
+    WidthDependentSpacingRule,
+)
+
+__all__ = ["RuleDeck", "basic_deck", "complex_deck", "advanced_deck", "deck_by_name"]
+
+
+@dataclass(frozen=True)
+class RuleDeck:
+    """A named rule deck plus the track geometry it was authored for.
+
+    Attributes
+    ----------
+    name, description:
+        Identification for reports and EXPERIMENTS.md.
+    grid:
+        Pixel grid the pixel values below are expressed on.
+    track_pitch_px:
+        Centre-to-centre pitch of the vertical routing tracks.
+    allowed_widths_px:
+        Legal wire widths.  For non-discrete decks this is the *preferred*
+        width set used by generators; only the advanced deck enforces it.
+    connector_min_px:
+        Minimum horizontal extent of an inter-track connector strap (also
+        the discrete-width exemption threshold).
+    min_seg_px:
+        Minimum vertical run (segment length / connector thickness).
+    e2e_px:
+        Minimum end-to-end spacing along a track.
+    spacing_window_px:
+        Fallback inclusive (lo, hi) spacing window between wires.
+    wdep_windows_px:
+        Width-pair spacing windows for the advanced deck (R1.1-1.4-S).
+    area_window_px2:
+        Inclusive (min, max) polygon area window.
+    rules:
+        The rule objects the engine evaluates.
+    """
+
+    name: str
+    description: str
+    grid: Grid
+    track_pitch_px: int
+    allowed_widths_px: tuple[int, ...]
+    connector_min_px: int
+    min_seg_px: int
+    e2e_px: int
+    spacing_window_px: tuple[int, int]
+    wdep_windows_px: dict[tuple, tuple[int, int]] = field(default_factory=dict)
+    area_window_px2: tuple[int, int] = (1, 10**9)
+    rules: tuple[Rule, ...] = field(default_factory=tuple)
+
+    def engine(self) -> DrcEngine:
+        """Build the DRC engine for this deck."""
+        return DrcEngine(name=self.name, rules=self.rules)
+
+    @property
+    def min_width_px(self) -> int:
+        """Smallest legal wire width."""
+        return min(self.allowed_widths_px)
+
+    @property
+    def max_width_px(self) -> int:
+        """Largest legal wire width."""
+        return max(self.allowed_widths_px)
+
+    @property
+    def min_spacing_px(self) -> int:
+        """Smallest legal side-to-side spacing (over all width pairs)."""
+        candidates = [self.spacing_window_px[0]]
+        candidates.extend(lo for lo, _ in self.wdep_windows_px.values())
+        return min(candidates)
+
+    @property
+    def max_spacing_px(self) -> int:
+        """Largest legal side-to-side spacing (over all width pairs)."""
+        candidates = [self.spacing_window_px[1]]
+        candidates.extend(hi for _, hi in self.wdep_windows_px.values())
+        return max(candidates)
+
+    @property
+    def has_discrete_widths(self) -> bool:
+        """True when R3.1-W (discrete width set) is enforced."""
+        return any(isinstance(rule, DiscreteWidthRule) for rule in self.rules)
+
+    @property
+    def has_spacing_upper_bounds(self) -> bool:
+        """True when some spacing has a maximum (non-convex legalization)."""
+        if any(isinstance(rule, MaxSpacingRule) for rule in self.rules):
+            return True
+        return any(
+            isinstance(rule, WidthDependentSpacingRule) for rule in self.rules
+        )
+
+
+def basic_deck(grid: Grid = DEFAULT_GRID) -> RuleDeck:
+    """The academic rule setting used by CUP/DiffPattern (Fig. 3 basic set).
+
+    Minimum width 3 px both axes, minimum spacing 3 px both axes, polygon
+    area in [12, 1600] px^2.  No maxima on width/spacing, no discreteness —
+    solver legalization is a convex-ish feasibility problem here.
+    """
+    area_window = (12, 1600)
+    rules: tuple[Rule, ...] = (
+        NonEmptyRule(),
+        MinWidthRule("h", 3),
+        MinWidthRule("v", 3),
+        MinSpacingRule("h", 3),
+        MinSpacingRule("v", 3),
+        MinAreaRule(area_window[0]),
+        MaxAreaRule(area_window[1]),
+    )
+    return RuleDeck(
+        name="basic",
+        description="Academic basic set: min width/spacing + area window",
+        grid=grid,
+        track_pitch_px=8,
+        allowed_widths_px=(3, 4, 5),
+        connector_min_px=8,
+        min_seg_px=3,
+        e2e_px=3,
+        spacing_window_px=(3, 10**9),
+        area_window_px2=area_window,
+        rules=rules,
+    )
+
+
+def complex_deck(grid: Grid = DEFAULT_GRID) -> RuleDeck:
+    """Directional min/max width & spacing plus end-to-end (Fig. 9 'complex').
+
+    Horizontal (across-track) widths in [3, 32] px, spacings in [3, 14] px;
+    vertical runs at least 4 px with end-to-end spacing at least 4 px;
+    polygon area in [12, 900] px^2.
+    """
+    spacing_window = (3, 14)
+    area_window = (12, 900)
+    rules: tuple[Rule, ...] = (
+        NonEmptyRule(),
+        MinWidthRule("h", 3),
+        MaxWidthRule("h", 32),
+        MinWidthRule("v", 4),
+        MinSpacingRule("h", spacing_window[0]),
+        MaxSpacingRule("h", spacing_window[1]),
+        EndToEndRule(4),
+        MinAreaRule(area_window[0]),
+        MaxAreaRule(area_window[1]),
+    )
+    return RuleDeck(
+        name="complex",
+        description=(
+            "Directional min/max width and spacing, end-to-end, area window"
+        ),
+        grid=grid,
+        track_pitch_px=8,
+        allowed_widths_px=(3, 4, 5),
+        connector_min_px=8,
+        min_seg_px=4,
+        e2e_px=4,
+        spacing_window_px=spacing_window,
+        area_window_px2=area_window,
+        rules=rules,
+    )
+
+
+def advanced_deck(grid: Grid = DEFAULT_GRID) -> RuleDeck:
+    """The node-A proxy: full advanced rule set (our Intel 18A stand-in).
+
+    Vertical tracks on an 8 px pitch.  Wire widths are *discrete*: 3 px or
+    5 px (R3.1-W); horizontal runs of 8 px or more are connector straps
+    (exempt from the discrete set, their thickness is checked vertically).
+    Side-to-side spacing windows depend on the flanking width pair
+    (R1.1-1.4-S):
+
+    ===========  =========  ==========================================
+    width pair   window px  consequence on the 8 px track grid
+    ===========  =========  ==========================================
+    (3, 3)       [4, 14]    adjacent tracks OK (gap 5), skip-one OK (13)
+    (3, 5)/(5, 3)[4, 13]    adjacent OK (gap 4), skip-one OK (12)
+    (5, 5)       [5, 12]    **adjacent 5/5 wires illegal** (gap 3)
+    wide pairs   [4, 14]    connector straps use the fallback window
+    ===========  =========  ==========================================
+
+    Vertical runs at least 4 px, end-to-end at least 4 px, polygon area in
+    [12, 900] px^2.  The (5, 5) adjacency exclusion and the spacing upper
+    bounds are what make this deck a mixed-integer problem for solver-based
+    legalization while remaining learnable from pixel context.
+    """
+    allowed = (3, 5)
+    wdep: dict[tuple, tuple[int, int]] = {
+        (3, 3): (4, 14),
+        (3, 5): (4, 13),
+        (5, 3): (4, 13),
+        (5, 5): (5, 12),
+        (WIDE_CLASS, 3): (4, 14),
+        (3, WIDE_CLASS): (4, 14),
+        (WIDE_CLASS, 5): (4, 14),
+        (5, WIDE_CLASS): (4, 14),
+        (WIDE_CLASS, WIDE_CLASS): (4, 14),
+    }
+    area_window = (12, 900)
+    rules: tuple[Rule, ...] = (
+        NonEmptyRule(),
+        DiscreteWidthRule("h", allowed, exempt_at_or_above=8),
+        MaxWidthRule("h", 32),
+        MinWidthRule("v", 4),
+        WidthDependentSpacingRule(
+            "h",
+            allowed_px=allowed,
+            windows=wdep,
+            default_window=(4, 14),
+            exempt_at_or_above=8,
+        ),
+        EndToEndRule(4),
+        MinAreaRule(area_window[0]),
+        MaxAreaRule(area_window[1]),
+    )
+    return RuleDeck(
+        name="advanced",
+        description=(
+            "Node-A proxy (Intel 18A stand-in): discrete widths {3,5}px, "
+            "width-dependent spacing windows, E2E, area window"
+        ),
+        grid=grid,
+        track_pitch_px=8,
+        allowed_widths_px=allowed,
+        connector_min_px=8,
+        min_seg_px=4,
+        e2e_px=4,
+        spacing_window_px=(4, 14),
+        wdep_windows_px=wdep,
+        area_window_px2=area_window,
+        rules=rules,
+    )
+
+
+_DECK_BUILDERS = {
+    "basic": basic_deck,
+    "complex": complex_deck,
+    "advanced": advanced_deck,
+}
+
+
+def deck_by_name(name: str, grid: Grid = DEFAULT_GRID) -> RuleDeck:
+    """Look up a deck builder by name (``basic``/``complex``/``advanced``)."""
+    try:
+        builder = _DECK_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown deck {name!r}; available: {sorted(_DECK_BUILDERS)}"
+        ) from None
+    return builder(grid)

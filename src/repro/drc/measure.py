@@ -1,0 +1,197 @@
+"""Vectorized measurement kernels for the pixel DRC engine.
+
+Every metal-layer rule in the reproduction decks reduces to statements about
+
+* **run lengths** — maximal contiguous spans of metal along one axis
+  (widths when measured across a wire, segment lengths when measured along
+  it),
+* **gaps** — clear spans between two runs on the same scan line (spacings;
+  vertical gaps between runs on the same column are end-to-end spacings for
+  track layouts), and
+* **component areas** — pixel counts of 4-connected polygons.
+
+The kernels below extract all runs/gaps of a clip in one vectorized pass and
+are cached per clip by :class:`ClipMeasurements`, so a deck with many rules
+measures each quantity once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..geometry.raster import as_binary, component_areas
+
+__all__ = ["RunTable", "GapTable", "run_table", "gap_table", "ClipMeasurements"]
+
+
+@dataclass(frozen=True)
+class RunTable:
+    """All maximal runs along one axis, as parallel arrays.
+
+    ``lines[i]`` is the row index (axis ``"h"``) or column index (axis
+    ``"v"``) of run ``i``; ``starts[i]:stops[i]`` is its half-open span along
+    the scan direction.
+    """
+
+    axis: str
+    lines: np.ndarray
+    starts: np.ndarray
+    stops: np.ndarray
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return self.stops - self.starts
+
+    def __len__(self) -> int:
+        return int(self.lines.size)
+
+    def anchor(self, i: int) -> tuple[int, int]:
+        """``(y, x)`` pixel anchor of run ``i``."""
+        if self.axis == "h":
+            return int(self.lines[i]), int(self.starts[i])
+        return int(self.starts[i]), int(self.lines[i])
+
+
+@dataclass(frozen=True)
+class GapTable:
+    """All gaps between consecutive runs on the same scan line.
+
+    For gap ``i``: ``left_lengths[i]``/``right_lengths[i]`` are the lengths
+    of the two flanking runs (needed by width-dependent spacing rules),
+    ``starts[i]:stops[i]`` the clear span, ``lines[i]`` the scan line.
+    """
+
+    axis: str
+    lines: np.ndarray
+    starts: np.ndarray
+    stops: np.ndarray
+    left_lengths: np.ndarray
+    right_lengths: np.ndarray
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return self.stops - self.starts
+
+    def __len__(self) -> int:
+        return int(self.lines.size)
+
+    def anchor(self, i: int) -> tuple[int, int]:
+        """``(y, x)`` pixel anchor of gap ``i``."""
+        if self.axis == "h":
+            return int(self.lines[i]), int(self.starts[i])
+        return int(self.starts[i]), int(self.lines[i])
+
+
+def run_table(img: np.ndarray, axis: str) -> RunTable:
+    """Extract every maximal run along ``axis`` (``"h"`` rows, ``"v"`` cols).
+
+    The whole clip is processed in one pass: each scan line is padded with a
+    clear sentinel so run boundaries appear as value changes in a flattened
+    array, giving identical results to per-line run extraction.
+    """
+    binary = as_binary(img)
+    if axis == "h":
+        lines2d = binary
+    elif axis == "v":
+        lines2d = binary.T
+    else:
+        raise ValueError(f"axis must be 'h' or 'v', got {axis!r}")
+
+    n_lines, extent = lines2d.shape
+    padded = np.zeros((n_lines, extent + 2), dtype=bool)
+    padded[:, 1:-1] = lines2d
+    flat = padded.ravel()
+    changes = np.flatnonzero(flat[1:] != flat[:-1])
+    starts_flat = changes[0::2]
+    stops_flat = changes[1::2]
+    line_idx = starts_flat // (extent + 2)
+    starts = starts_flat - line_idx * (extent + 2)
+    stops = stops_flat - line_idx * (extent + 2)
+    return RunTable(
+        axis=axis,
+        lines=line_idx.astype(np.int64),
+        starts=starts.astype(np.int64),
+        stops=stops.astype(np.int64),
+    )
+
+
+def gap_table(img: np.ndarray, axis: str) -> GapTable:
+    """Extract every inter-run gap along ``axis``, with flanking run widths.
+
+    Border gaps (between a run and the clip edge) are *not* reported: a clip
+    is a window into a larger layout, so edge clearances are not measurable
+    spacings.
+    """
+    runs = run_table(img, axis)
+    if len(runs) < 2:
+        empty = np.zeros(0, dtype=np.int64)
+        return GapTable(axis, empty, empty, empty, empty, empty)
+
+    same_line = runs.lines[1:] == runs.lines[:-1]
+    idx = np.flatnonzero(same_line)
+    lengths = runs.lengths
+    return GapTable(
+        axis=axis,
+        lines=runs.lines[idx],
+        starts=runs.stops[idx],
+        stops=runs.starts[idx + 1],
+        left_lengths=lengths[idx],
+        right_lengths=lengths[idx + 1],
+    )
+
+
+class ClipMeasurements:
+    """Lazily computed, cached measurements of one clip.
+
+    A :class:`~repro.drc.engine.DrcEngine` builds one instance per checked
+    clip and hands it to every rule, so shared quantities (runs, gaps,
+    component areas) are extracted exactly once regardless of deck size.
+    """
+
+    def __init__(self, img: np.ndarray):
+        self.img = as_binary(img)
+        if self.img.ndim != 2 or self.img.size == 0:
+            raise ValueError(f"expected a non-empty 2-D clip, got {self.img.shape}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.img.shape
+
+    @cached_property
+    def h_runs(self) -> RunTable:
+        """Horizontal runs (wire widths for vertical-track layouts)."""
+        return run_table(self.img, "h")
+
+    @cached_property
+    def v_runs(self) -> RunTable:
+        """Vertical runs (segment lengths for vertical-track layouts)."""
+        return run_table(self.img, "v")
+
+    @cached_property
+    def h_gaps(self) -> GapTable:
+        """Horizontal gaps (side-to-side spacings)."""
+        return gap_table(self.img, "h")
+
+    @cached_property
+    def v_gaps(self) -> GapTable:
+        """Vertical gaps (end-to-end spacings on a track)."""
+        return gap_table(self.img, "v")
+
+    @cached_property
+    def areas(self) -> np.ndarray:
+        """Connected-polygon pixel areas."""
+        return component_areas(self.img)
+
+    @cached_property
+    def is_empty(self) -> bool:
+        """True when the clip contains no metal at all."""
+        return not bool(self.img.any())
+
+    def runs(self, axis: str) -> RunTable:
+        return self.h_runs if axis == "h" else self.v_runs
+
+    def gaps(self, axis: str) -> GapTable:
+        return self.h_gaps if axis == "h" else self.v_gaps

@@ -1,0 +1,440 @@
+"""Design-rule definitions.
+
+Each rule is a small object with a stable ``name`` and a
+``check(measurements) -> list[Violation]`` method operating on the cached
+:class:`~repro.drc.measure.ClipMeasurements` of a clip.  The rule families
+mirror Figure 3 of the paper:
+
+*Basic rule set* (``Mx.S/E/W/A``):
+    :class:`MinWidthRule`, :class:`MinSpacingRule`, :class:`EndToEndRule`,
+    :class:`MinAreaRule`/:class:`MaxAreaRule`.
+
+*Advanced rule set* (``Mx.W/Sx``):
+    :class:`DiscreteWidthRule` (R3.1-W: widths restricted to a discrete set)
+    and :class:`WidthDependentSpacingRule` (R1.1-1.4-S: the allowed spacing
+    window depends on the widths of both flanking wires).
+
+Axis convention (vertical-track metal layers, the paper's target): axis
+``"h"`` measures *across* tracks — horizontal run lengths are wire widths and
+horizontal gaps are side-to-side spacings (S2S); axis ``"v"`` measures
+*along* tracks — vertical run lengths are segment lengths and vertical gaps
+are end-to-end spacings (E2E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .measure import ClipMeasurements
+from .violations import Violation
+
+__all__ = [
+    "Rule",
+    "MinWidthRule",
+    "MaxWidthRule",
+    "DiscreteWidthRule",
+    "MinSpacingRule",
+    "MaxSpacingRule",
+    "WidthDependentSpacingRule",
+    "EndToEndRule",
+    "MinAreaRule",
+    "MaxAreaRule",
+    "NonEmptyRule",
+    "classify_width",
+    "WIDE_CLASS",
+]
+
+#: Width class used by :func:`classify_width` for runs at or above the
+#: connector exemption threshold (straps spanning several tracks).
+WIDE_CLASS = "wide"
+
+_AXIS_LABEL = {"h": "horizontal", "v": "vertical"}
+
+
+def _check_axis(axis: str) -> str:
+    if axis not in ("h", "v"):
+        raise ValueError(f"axis must be 'h' or 'v', got {axis!r}")
+    return axis
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Base class for all design rules."""
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Width rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MinWidthRule(Rule):
+    """R3-W: every run along ``axis`` must be at least ``min_px`` long."""
+
+    axis: str
+    min_px: int
+
+    def __post_init__(self) -> None:
+        _check_axis(self.axis)
+
+    @property
+    def name(self) -> str:
+        return f"Mx.W.MIN.{self.axis.upper()}"
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        runs = m.runs(self.axis)
+        bad = np.flatnonzero(runs.lengths < self.min_px)
+        return [
+            Violation(
+                rule=self.name,
+                message=(
+                    f"{_AXIS_LABEL[self.axis]} width {int(runs.lengths[i])}px "
+                    f"< min {self.min_px}px"
+                ),
+                measured=float(runs.lengths[i]),
+                location=runs.anchor(i),
+            )
+            for i in bad
+        ]
+
+
+@dataclass(frozen=True)
+class MaxWidthRule(Rule):
+    """Every run along ``axis`` must be at most ``max_px`` long."""
+
+    axis: str
+    max_px: int
+
+    def __post_init__(self) -> None:
+        _check_axis(self.axis)
+
+    @property
+    def name(self) -> str:
+        return f"Mx.W.MAX.{self.axis.upper()}"
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        runs = m.runs(self.axis)
+        bad = np.flatnonzero(runs.lengths > self.max_px)
+        return [
+            Violation(
+                rule=self.name,
+                message=(
+                    f"{_AXIS_LABEL[self.axis]} width {int(runs.lengths[i])}px "
+                    f"> max {self.max_px}px"
+                ),
+                measured=float(runs.lengths[i]),
+                location=runs.anchor(i),
+            )
+            for i in bad
+        ]
+
+
+@dataclass(frozen=True)
+class DiscreteWidthRule(Rule):
+    """R3.1-W: run lengths along ``axis`` must come from a discrete set.
+
+    ``exempt_at_or_above`` models connector straps: runs at least that long
+    span multiple tracks and are not wire-width measurements (their own
+    width is measured on the perpendicular axis).  Set it to the track pitch.
+    """
+
+    axis: str
+    allowed_px: tuple[int, ...]
+    exempt_at_or_above: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_axis(self.axis)
+        if not self.allowed_px:
+            raise ValueError("allowed_px must not be empty")
+        if self.exempt_at_or_above is not None and (
+            self.exempt_at_or_above <= max(self.allowed_px)
+        ):
+            raise ValueError(
+                "connector exemption threshold must exceed the largest "
+                f"allowed width ({max(self.allowed_px)}px)"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"Mx.W.DISCRETE.{self.axis.upper()}"
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        runs = m.runs(self.axis)
+        lengths = runs.lengths
+        ok = np.isin(lengths, np.asarray(self.allowed_px))
+        if self.exempt_at_or_above is not None:
+            ok |= lengths >= self.exempt_at_or_above
+        bad = np.flatnonzero(~ok)
+        allowed = sorted(self.allowed_px)
+        return [
+            Violation(
+                rule=self.name,
+                message=(
+                    f"{_AXIS_LABEL[self.axis]} width {int(lengths[i])}px "
+                    f"not in allowed set {allowed}"
+                ),
+                measured=float(lengths[i]),
+                location=runs.anchor(i),
+            )
+            for i in bad
+        ]
+
+
+# ----------------------------------------------------------------------
+# Spacing rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MinSpacingRule(Rule):
+    """R1-S: every gap along ``axis`` must be at least ``min_px`` wide."""
+
+    axis: str
+    min_px: int
+
+    def __post_init__(self) -> None:
+        _check_axis(self.axis)
+
+    @property
+    def name(self) -> str:
+        return f"Mx.S.MIN.{self.axis.upper()}"
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        gaps = m.gaps(self.axis)
+        bad = np.flatnonzero(gaps.lengths < self.min_px)
+        return [
+            Violation(
+                rule=self.name,
+                message=(
+                    f"{_AXIS_LABEL[self.axis]} spacing {int(gaps.lengths[i])}px "
+                    f"< min {self.min_px}px"
+                ),
+                measured=float(gaps.lengths[i]),
+                location=gaps.anchor(i),
+            )
+            for i in bad
+        ]
+
+
+@dataclass(frozen=True)
+class MaxSpacingRule(Rule):
+    """Every gap along ``axis`` must be at most ``max_px`` wide.
+
+    Upper-bounded spacings are one of the advanced-deck features that turn
+    solver-based legalization into a non-convex problem (Section VI).
+    """
+
+    axis: str
+    max_px: int
+
+    def __post_init__(self) -> None:
+        _check_axis(self.axis)
+
+    @property
+    def name(self) -> str:
+        return f"Mx.S.MAX.{self.axis.upper()}"
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        gaps = m.gaps(self.axis)
+        bad = np.flatnonzero(gaps.lengths > self.max_px)
+        return [
+            Violation(
+                rule=self.name,
+                message=(
+                    f"{_AXIS_LABEL[self.axis]} spacing {int(gaps.lengths[i])}px "
+                    f"> max {self.max_px}px"
+                ),
+                measured=float(gaps.lengths[i]),
+                location=gaps.anchor(i),
+            )
+            for i in bad
+        ]
+
+
+def classify_width(
+    length: int,
+    allowed_px: tuple[int, ...],
+    exempt_at_or_above: int | None,
+) -> "int | str | None":
+    """Map a run length onto a width class for spacing-table lookup.
+
+    Returns the matching allowed width, :data:`WIDE_CLASS` for connector
+    runs, or ``None`` when the width is itself illegal (the width rule will
+    flag it; spacing classification is skipped).
+    """
+    if length in allowed_px:
+        return int(length)
+    if exempt_at_or_above is not None and length >= exempt_at_or_above:
+        return WIDE_CLASS
+    return None
+
+
+@dataclass(frozen=True)
+class WidthDependentSpacingRule(Rule):
+    """R1.1-1.4-S: allowed spacing window depends on both flanking widths.
+
+    ``windows`` maps ``(class_left, class_right)`` to an inclusive
+    ``(lo, hi)`` pixel window, where a class is an allowed width or
+    :data:`WIDE_CLASS`.  Missing pairs fall back to ``default_window``.
+    Gaps flanked by an illegal width are skipped (the width rule reports
+    those).
+    """
+
+    axis: str
+    allowed_px: tuple[int, ...]
+    windows: dict[tuple, tuple[int, int]] = field(default_factory=dict)
+    default_window: tuple[int, int] = (1, 10**9)
+    exempt_at_or_above: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_axis(self.axis)
+        for pair, (lo, hi) in self.windows.items():
+            if lo > hi:
+                raise ValueError(f"empty spacing window {pair}: ({lo}, {hi})")
+
+    @property
+    def name(self) -> str:
+        return f"Mx.S.WDEP.{self.axis.upper()}"
+
+    def window_for(self, w_left: int, w_right: int) -> tuple[int, int] | None:
+        """The inclusive spacing window for a flanking-width pair."""
+        cls_left = classify_width(w_left, self.allowed_px, self.exempt_at_or_above)
+        cls_right = classify_width(w_right, self.allowed_px, self.exempt_at_or_above)
+        if cls_left is None or cls_right is None:
+            return None
+        return self.windows.get((cls_left, cls_right), self.default_window)
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        gaps = m.gaps(self.axis)
+        out: list[Violation] = []
+        for i in range(len(gaps)):
+            window = self.window_for(
+                int(gaps.left_lengths[i]), int(gaps.right_lengths[i])
+            )
+            if window is None:
+                continue
+            lo, hi = window
+            gap = int(gaps.lengths[i])
+            if lo <= gap <= hi:
+                continue
+            out.append(
+                Violation(
+                    rule=self.name,
+                    message=(
+                        f"spacing {gap}px between widths "
+                        f"{int(gaps.left_lengths[i])}px/"
+                        f"{int(gaps.right_lengths[i])}px outside window "
+                        f"[{lo}, {hi}]px"
+                    ),
+                    measured=float(gap),
+                    location=gaps.anchor(i),
+                )
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class EndToEndRule(Rule):
+    """R2-E: vertical gaps (line-end to line-end on a track) >= ``min_px``."""
+
+    min_px: int
+
+    @property
+    def name(self) -> str:
+        return "Mx.E2E.MIN"
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        gaps = m.v_gaps
+        bad = np.flatnonzero(gaps.lengths < self.min_px)
+        return [
+            Violation(
+                rule=self.name,
+                message=(
+                    f"end-to-end spacing {int(gaps.lengths[i])}px "
+                    f"< min {self.min_px}px"
+                ),
+                measured=float(gaps.lengths[i]),
+                location=gaps.anchor(i),
+            )
+            for i in bad
+        ]
+
+
+# ----------------------------------------------------------------------
+# Area rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MinAreaRule(Rule):
+    """R4-A lower bound: every polygon must cover >= ``min_px2`` pixels."""
+
+    min_px2: int
+
+    @property
+    def name(self) -> str:
+        return "Mx.A.MIN"
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        bad = np.flatnonzero(m.areas < self.min_px2)
+        return [
+            Violation(
+                rule=self.name,
+                message=f"polygon area {int(m.areas[i])}px^2 < min {self.min_px2}px^2",
+                measured=float(m.areas[i]),
+                location=(0, 0),
+            )
+            for i in bad
+        ]
+
+
+@dataclass(frozen=True)
+class MaxAreaRule(Rule):
+    """R4-A upper bound: every polygon must cover <= ``max_px2`` pixels."""
+
+    max_px2: int
+
+    @property
+    def name(self) -> str:
+        return "Mx.A.MAX"
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        bad = np.flatnonzero(m.areas > self.max_px2)
+        return [
+            Violation(
+                rule=self.name,
+                message=f"polygon area {int(m.areas[i])}px^2 > max {self.max_px2}px^2",
+                measured=float(m.areas[i]),
+                location=(0, 0),
+            )
+            for i in bad
+        ]
+
+
+@dataclass(frozen=True)
+class NonEmptyRule(Rule):
+    """Reject all-empty clips: an empty window is not a useful pattern.
+
+    The paper's pattern libraries never contain empty clips (generation
+    always starts from populated starters); this rule makes that contract
+    explicit so degenerate all-background samples cannot inflate legality.
+    """
+
+    @property
+    def name(self) -> str:
+        return "Mx.NONEMPTY"
+
+    def check(self, m: ClipMeasurements) -> list[Violation]:
+        if not m.is_empty:
+            return []
+        return [
+            Violation(
+                rule=self.name,
+                message="clip contains no metal",
+                measured=0.0,
+                location=(0, 0),
+            )
+        ]

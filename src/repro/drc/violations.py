@@ -1,0 +1,64 @@
+"""DRC violation records and check reports."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["Violation", "DrcReport"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One design-rule violation found in a clip.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier (e.g. ``"Mx.W.DISCRETE"``).
+    message:
+        Human-readable description with the measured and allowed values.
+    measured:
+        The offending measurement, in pixels (or px^2 for area rules).
+    location:
+        ``(y, x)`` pixel anchor of the violation (top-left of the offending
+        span), for cross-probing and debugging.
+    """
+
+    rule: str
+    message: str
+    measured: float
+    location: tuple[int, int]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.rule} @ (y={self.location[0]}, x={self.location[1]}): {self.message}"
+
+
+@dataclass
+class DrcReport:
+    """Result of running a rule deck against one clip."""
+
+    deck_name: str
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the clip passed every rule (DR-clean / legal)."""
+        return not self.violations
+
+    @property
+    def count(self) -> int:
+        return len(self.violations)
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Violation counts keyed by rule identifier."""
+        return dict(Counter(v.rule for v in self.violations))
+
+    def summary(self) -> str:
+        """One-line summary suitable for logs."""
+        if self.is_clean:
+            return f"{self.deck_name}: CLEAN"
+        parts = ", ".join(
+            f"{rule}x{n}" for rule, n in sorted(self.counts_by_rule().items())
+        )
+        return f"{self.deck_name}: {self.count} violations ({parts})"

@@ -1,0 +1,48 @@
+"""Paper experiments: one module per table/figure of the evaluation."""
+
+from .common import ModelRun, format_table, repro_scale, results_dir, scaled
+from .fig7 import Fig7Series, fig7_trends, format_fig7, run_fig7
+from .fig8 import run_fig8
+from .fig9 import Fig9Curve, Fig9Point, format_fig9, random_topology, run_fig9
+from .runs import (
+    PATTERNPAINT_MODELS,
+    BaselineRun,
+    all_patternpaint_runs,
+    baseline_run,
+    patternpaint_run,
+)
+from .table1 import Table1Row, format_table1, run_table1
+from .table2 import Table2Row, format_table2, run_table2
+from .table3 import Table3Row, format_table3, run_table3
+
+__all__ = [
+    "BaselineRun",
+    "Fig7Series",
+    "Fig9Curve",
+    "Fig9Point",
+    "ModelRun",
+    "PATTERNPAINT_MODELS",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "all_patternpaint_runs",
+    "baseline_run",
+    "fig7_trends",
+    "format_fig7",
+    "format_fig9",
+    "format_table",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "patternpaint_run",
+    "random_topology",
+    "repro_scale",
+    "results_dir",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "scaled",
+]

@@ -1,0 +1,168 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+Experiment scale
+----------------
+The paper generates 20k (initial) + 50k (iterative) samples per model on an
+A100.  The numpy stack reproduces the same pipelines at a reduced default
+budget; set the ``REPRO_SCALE`` environment variable to scale every sample
+count (1.0 = the CPU-friendly defaults documented in EXPERIMENTS.md, 10.0 =
+closer to paper scale, at 10x the wall-clock).
+
+Caching
+-------
+Every experiment run is cached under ``.artifacts/results`` keyed by its
+parameters, so benches re-render tables instantly after the first run and
+Table III can re-score the raw samples produced for Table I without
+regenerating them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.pipeline import GenerationStats
+from ..zoo.artifacts import artifacts_dir
+
+__all__ = [
+    "repro_scale",
+    "scaled",
+    "results_dir",
+    "format_table",
+    "ModelRun",
+    "save_model_run",
+    "load_model_run",
+]
+
+
+def repro_scale() -> float:
+    """The global sample-count multiplier (``REPRO_SCALE``, default 1.0)."""
+    try:
+        value = float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        raise ValueError("REPRO_SCALE must be a number") from None
+    if value <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Scale a default sample count by ``REPRO_SCALE``."""
+    return max(minimum, int(round(n * repro_scale())))
+
+
+def results_dir() -> Path:
+    """Cache directory for experiment outputs."""
+    path = artifacts_dir() / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def format_table(
+    headers: list[str], rows: list[list], *, title: str | None = None
+) -> str:
+    """Render an aligned plain-text table (papers' row layout)."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ModelRun:
+    """A cached PatternPaint run of one model variant.
+
+    ``stats`` holds one entry per stage ("init", "iter-1", ...);
+    ``library`` the final deduplicated legal clips; ``raw`` the pre-denoise
+    float outputs of the *initial* stage paired with their templates
+    (needed by Table III).
+    """
+
+    name: str
+    stats: list[GenerationStats] = field(default_factory=list)
+    library: list[np.ndarray] = field(default_factory=list)
+    raw: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def init_stats(self) -> GenerationStats:
+        return self.stats[0]
+
+    @property
+    def total_generated(self) -> int:
+        return sum(s.generated for s in self.stats)
+
+    @property
+    def total_legal(self) -> int:
+        return sum(s.legal for s in self.stats)
+
+
+def _stats_to_dict(stats: GenerationStats) -> dict:
+    return asdict(stats)
+
+
+def _stats_from_dict(payload: dict) -> GenerationStats:
+    return GenerationStats(**payload)
+
+
+def save_model_run(run: ModelRun, path: Path) -> None:
+    """Persist a model run (stats JSON + packed clips + raw floats)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {}
+    meta = {
+        "name": run.name,
+        "stats": [_stats_to_dict(s) for s in run.stats],
+        "n_library": len(run.library),
+        "n_raw": len(run.raw),
+    }
+    payload["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    if run.library:
+        payload["library"] = np.stack(run.library).astype(np.uint8)
+    if run.raw:
+        payload["raw_outputs"] = np.stack(
+            [pair[0] for pair in run.raw]
+        ).astype(np.float32)
+        payload["raw_templates"] = np.stack(
+            [pair[1] for pair in run.raw]
+        ).astype(np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_model_run(path: Path) -> ModelRun:
+    """Load a run saved by :func:`save_model_run`."""
+    with np.load(path) as archive:
+        meta = json.loads(archive["meta"].tobytes().decode("utf-8"))
+        library = (
+            [clip for clip in archive["library"]] if "library" in archive else []
+        )
+        raw: list[tuple[np.ndarray, np.ndarray]] = []
+        if "raw_outputs" in archive:
+            raw = list(
+                zip(list(archive["raw_outputs"]), list(archive["raw_templates"]))
+            )
+    return ModelRun(
+        name=meta["name"],
+        stats=[_stats_from_dict(s) for s in meta["stats"]],
+        library=library,
+        raw=raw,
+    )

@@ -1,0 +1,99 @@
+"""Figure 7: iterative-generation curves.
+
+Four panels — cumulative legal patterns, cumulative unique patterns, H1 and
+H2 — as a function of the iteration index, for the four PatternPaint
+variants.  Reproduction targets: legal/unique/H2 increase with iterations,
+H1 mildly decreases, and the finetuned variants dominate the base ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics.entropy import h1_entropy, h2_entropy
+from .common import ModelRun, format_table
+from .runs import PATTERNPAINT_MODELS, all_patternpaint_runs
+
+__all__ = ["Fig7Series", "run_fig7", "format_fig7"]
+
+
+@dataclass
+class Fig7Series:
+    """Per-iteration curves for one model (index 0 = after init)."""
+
+    name: str
+    legal: list[int] = field(default_factory=list)
+    unique: list[int] = field(default_factory=list)
+    h1: list[float] = field(default_factory=list)
+    h2: list[float] = field(default_factory=list)
+
+
+def _series_for(run: ModelRun) -> Fig7Series:
+    series = Fig7Series(name=run.name)
+    cumulative_legal = 0
+    consumed = 0
+    for stage in run.stats:
+        cumulative_legal += stage.legal
+        consumed += stage.admitted
+        library_so_far = run.library[:consumed]
+        series.legal.append(cumulative_legal)
+        series.unique.append(len(library_so_far))
+        series.h1.append(h1_entropy(library_so_far) if library_so_far else 0.0)
+        series.h2.append(h2_entropy(library_so_far) if library_so_far else 0.0)
+    return series
+
+
+def run_fig7(
+    *, iterations: int = 6, seed: int = 0, use_cache: bool = True
+) -> list[Fig7Series]:
+    """Compute the four model curves (cached via the Table I runs)."""
+    runs = all_patternpaint_runs(
+        iterations=iterations, seed=seed, use_cache=use_cache
+    )
+    return [_series_for(runs[name]) for name in PATTERNPAINT_MODELS]
+
+
+def format_fig7(series_list: list[Fig7Series]) -> str:
+    """Render the four panels as aligned tables (one row per iteration)."""
+    if not series_list:
+        return "Figure 7: (no data)"
+    n_points = len(series_list[0].legal)
+    blocks = []
+    for metric, getter in [
+        ("legal pattern count", lambda s: s.legal),
+        ("unique pattern count", lambda s: s.unique),
+        ("H1", lambda s: s.h1),
+        ("H2", lambda s: s.h2),
+    ]:
+        headers = ["iteration"] + [s.name for s in series_list]
+        rows = []
+        for i in range(n_points):
+            label = "init" if i == 0 else f"iter-{i}"
+            row = [label] + [
+                getter(s)[i] if i < len(getter(s)) else float("nan")
+                for s in series_list
+            ]
+            rows.append(row)
+        blocks.append(
+            format_table(headers, rows, title=f"Figure 7 panel: {metric}")
+        )
+    return "\n\n".join(blocks)
+
+
+def fig7_trends(series_list: list[Fig7Series]) -> dict[str, bool]:
+    """The qualitative claims the figure supports (used by benches/tests)."""
+    finetuned = [s for s in series_list if s.name.endswith("-ft")]
+    base = [s for s in series_list if s.name.endswith("-base")]
+    h2_grows = all(s.h2[-1] >= s.h2[0] for s in series_list if len(s.h2) > 1)
+    unique_grows = all(
+        s.unique[-1] >= s.unique[0] for s in series_list if len(s.unique) > 1
+    )
+    ft_h2 = float(np.mean([s.h2[-1] for s in finetuned])) if finetuned else 0.0
+    base_h2 = float(np.mean([s.h2[-1] for s in base])) if base else 0.0
+    return {
+        "h2_grows_with_iterations": h2_grows,
+        "unique_grows_with_iterations": unique_grows,
+        "finetuned_h2_beats_base": ft_h2 >= base_h2,
+    }

@@ -1,0 +1,250 @@
+"""Figure 9: nonlinear-solver runtime and success rate vs topology size.
+
+Sweeps random Manhattan topologies of growing size through the solver under
+the three rule settings of Section VI — ``default`` (the academic basic
+set), ``complex`` (directional min/max + E2E) and ``complex-discrete``
+(adds the discrete width set) — and compares against PatternPaint's
+template-denoise time on equivalently sized clips.  Reproduction targets:
+solver runtime grows steeply with size and rule complexity while success
+rate collapses; denoising time stays orders of magnitude lower and flat.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.solver import SolverSettings, SquishLegalizer
+from ..core.template_denoise import template_denoise
+from ..drc.decks import RuleDeck, advanced_deck, basic_deck, complex_deck
+from ..drc.rules import MaxAreaRule, MinAreaRule, Rule
+from ..geometry.grid import Grid
+from .common import format_table, results_dir
+
+__all__ = [
+    "Fig9Point",
+    "Fig9Curve",
+    "random_topology",
+    "run_fig9",
+    "format_fig9",
+    "SETTINGS",
+]
+
+#: Paper setting name -> deck builder.
+SETTINGS = ("default", "complex", "complex-discrete")
+
+
+@dataclass(frozen=True)
+class Fig9Point:
+    size: int
+    runtime_s: float
+    success_rate: float
+
+
+@dataclass
+class Fig9Curve:
+    setting: str
+    points: list[Fig9Point] = field(default_factory=list)
+
+
+def random_topology(
+    size: int, rng: np.random.Generator, *, fill_target: float = 0.35
+) -> np.ndarray:
+    """A random track-like topology matrix of ``size x size`` cells.
+
+    Built as vertical strips (1-2 cells wide) separated by short gap spans
+    (1-3 cells), with random segment breaks per strip — the squish-cell
+    analogue of the topologies the squish-based baselines sample.  Short
+    gap spans keep small instances *feasible* under spacing upper bounds
+    (a gap of k cells needs at least k pixels), so the success-rate decay
+    over size measures solver scalability rather than trivially infeasible
+    inputs; breaks that align across neighbouring strips still create the
+    long-span and discrete-width conflicts that break large instances.
+    """
+    topology = np.zeros((size, size), dtype=bool)
+    max_gap = 3 if fill_target >= 0.3 else 4
+    x = 0
+    while x < size:
+        width = int(rng.integers(1, 3))
+        width = min(width, size - x)
+        strip = np.ones(size, dtype=bool)
+        for _ in range(int(rng.integers(0, max(1, size // 10) + 1))):
+            break_len = int(rng.integers(1, 3))
+            y0 = int(rng.integers(0, max(1, size - break_len)))
+            strip[y0 : y0 + break_len] = False
+        if not strip.any():
+            strip[:] = True
+        topology[:, x : x + width] = strip[:, None]
+        x += width + int(rng.integers(1, max_gap + 1))
+    if not topology.any():
+        topology[:, : max(1, size // 8)] = True
+    return topology
+
+
+def _deck_for(setting: str, size: int, px_per_cell: int) -> RuleDeck:
+    """Build the sweep deck with area windows scaled to the clip size.
+
+    The named decks carry area windows written for 32-64 px clips; the
+    sweep legalizes onto ``size * px_per_cell`` squares, so the windows are
+    re-scaled to keep feasibility comparable across sizes.
+    """
+    extent = size * px_per_cell
+    grid = Grid(nm_per_px=8.0, width_px=extent, height_px=extent)
+    if setting == "default":
+        deck = basic_deck(grid)
+    elif setting == "complex":
+        deck = complex_deck(grid)
+    elif setting == "complex-discrete":
+        deck = advanced_deck(grid)
+    else:
+        raise ValueError(f"unknown Figure 9 setting {setting!r}")
+    area_hi = max(deck.area_window_px2[1], int(0.3 * extent * extent))
+    rules: list[Rule] = []
+    for rule in deck.rules:
+        if isinstance(rule, MaxAreaRule):
+            rules.append(MaxAreaRule(area_hi))
+        else:
+            rules.append(rule)
+    return RuleDeck(
+        name=deck.name,
+        description=deck.description,
+        grid=grid,
+        track_pitch_px=deck.track_pitch_px,
+        allowed_widths_px=deck.allowed_widths_px,
+        connector_min_px=deck.connector_min_px,
+        min_seg_px=deck.min_seg_px,
+        e2e_px=deck.e2e_px,
+        spacing_window_px=deck.spacing_window_px,
+        wdep_windows_px=deck.wdep_windows_px,
+        area_window_px2=(deck.area_window_px2[0], area_hi),
+        rules=tuple(rules),
+    )
+
+
+def run_fig9(
+    *,
+    sizes: tuple[int, ...] = (10, 20, 30, 40, 56),
+    samples_per_size: int = 3,
+    px_per_cell: int = 4,
+    seed: int = 0,
+    max_iter: int = 100,
+    use_cache: bool = True,
+) -> tuple[list[Fig9Curve], Fig9Curve]:
+    """Sweep the solver; returns (solver curves, denoise-time curve)."""
+    import json
+
+    cache_path = results_dir() / (
+        f"fig9-{'-'.join(map(str, sizes))}-n{samples_per_size}-s{seed}.json"
+    )
+    if use_cache and cache_path.exists():
+        payload = json.loads(cache_path.read_text())
+        curves = [
+            Fig9Curve(
+                setting=c["setting"],
+                points=[Fig9Point(**p) for p in c["points"]],
+            )
+            for c in payload["curves"]
+        ]
+        denoise = Fig9Curve(
+            setting="patternpaint-denoise",
+            points=[Fig9Point(**p) for p in payload["denoise"]],
+        )
+        return curves, denoise
+
+    rng = np.random.default_rng(9_000 + seed)
+    topologies = {
+        size: [random_topology(size, rng) for _ in range(samples_per_size)]
+        for size in sizes
+    }
+
+    curves: list[Fig9Curve] = []
+    for setting in SETTINGS:
+        curve = Fig9Curve(setting=setting)
+        for size in sizes:
+            deck = _deck_for(setting, size, px_per_cell)
+            legalizer = SquishLegalizer(
+                deck, SolverSettings(max_iter=max_iter, discrete_restarts=2)
+            )
+            runtimes = []
+            successes = 0
+            for topology in topologies[size]:
+                result = legalizer.legalize(
+                    topology,
+                    width_px=size * px_per_cell,
+                    height_px=size * px_per_cell,
+                    rng=rng,
+                )
+                runtimes.append(result.runtime_s)
+                successes += result.success
+            curve.points.append(
+                Fig9Point(
+                    size=size,
+                    runtime_s=float(np.mean(runtimes)),
+                    success_rate=successes / max(len(topologies[size]), 1),
+                )
+            )
+        curves.append(curve)
+
+    denoise = Fig9Curve(setting="patternpaint-denoise")
+    for size in sizes:
+        extent = size * px_per_cell
+        clip = np.kron(
+            topologies[size][0].astype(np.uint8),
+            np.ones((px_per_cell, px_per_cell), dtype=np.uint8),
+        )
+        noisy = clip.copy()
+        flip = rng.random(clip.shape) < 0.02
+        noisy[flip] ^= 1
+        start = time.perf_counter()
+        reps = 3
+        for _ in range(reps):
+            template_denoise(noisy, clip)
+        denoise.points.append(
+            Fig9Point(
+                size=size,
+                runtime_s=(time.perf_counter() - start) / reps,
+                success_rate=1.0,
+            )
+        )
+
+    payload = {
+        "curves": [
+            {
+                "setting": c.setting,
+                "points": [vars(p) for p in c.points],
+            }
+            for c in curves
+        ],
+        "denoise": [vars(p) for p in denoise.points],
+    }
+    cache_path.write_text(json.dumps(payload))
+    return curves, denoise
+
+
+def format_fig9(curves: list[Fig9Curve], denoise: Fig9Curve) -> str:
+    """Render both panels (runtime, success rate) as aligned tables."""
+    sizes = [p.size for p in curves[0].points] if curves else []
+    runtime_rows = []
+    success_rows = []
+    for i, size in enumerate(sizes):
+        runtime_rows.append(
+            [size]
+            + [round(c.points[i].runtime_s, 4) for c in curves]
+            + [round(denoise.points[i].runtime_s, 5)]
+        )
+        success_rows.append(
+            [size] + [round(100 * c.points[i].success_rate, 1) for c in curves]
+        )
+    runtime = format_table(
+        ["size"] + [c.setting for c in curves] + ["patternpaint-denoise"],
+        runtime_rows,
+        title="Figure 9 (left): solver runtime (s) vs topology size",
+    )
+    success = format_table(
+        ["size"] + [c.setting for c in curves],
+        success_rows,
+        title="Figure 9 (right): solver success rate (%) vs topology size",
+    )
+    return runtime + "\n\n" + success

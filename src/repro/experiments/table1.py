@@ -1,0 +1,113 @@
+"""Table I: performance comparison for layout pattern generation.
+
+Rows: starter patterns, CUP, DiffPattern, and the four PatternPaint
+variants in both initial-generation and iterative form.  Columns: generated
+count, legal count, unique legal count, H1, H2 — exactly the paper's
+layout.  Counts are at ``REPRO_SCALE`` size; rates and orderings are the
+reproduction targets (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.diversity import unique_count
+from ..metrics.entropy import h1_entropy, h2_entropy
+from ..zoo.corpora import starter_patterns
+from .common import ModelRun, format_table
+from .runs import PATTERNPAINT_MODELS, all_patternpaint_runs, baseline_run
+
+__all__ = ["Table1Row", "run_table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I."""
+
+    method: str
+    generated: int
+    legal: int
+    unique: int
+    h1: float
+    h2: float
+
+    def as_list(self) -> list:
+        return [self.method, self.generated, self.legal, self.unique, self.h1, self.h2]
+
+
+def _starter_row() -> Table1Row:
+    starters = starter_patterns(20)
+    return Table1Row(
+        method="Starter patterns",
+        generated=0,
+        legal=len(starters),
+        unique=unique_count(starters),
+        h1=h1_entropy(starters),
+        h2=h2_entropy(starters),
+    )
+
+
+def _baseline_row(kind: str, label: str, seed: int, use_cache: bool) -> Table1Row:
+    run = baseline_run(kind, seed=seed, use_cache=use_cache)
+    return Table1Row(
+        method=label,
+        generated=run.attempts,
+        legal=len(run.legal),
+        unique=unique_count(run.legal),
+        h1=h1_entropy(run.legal),
+        h2=h2_entropy(run.legal),
+    )
+
+
+def _init_row(run: ModelRun) -> Table1Row:
+    stats = run.init_stats
+    # Unique/H metrics of the initial stage come from the library state at
+    # the end of that stage (the library holds exactly the admitted
+    # clean+new clips of init first).
+    init_library = run.library[: stats.admitted]
+    return Table1Row(
+        method=f"PatternPaint-{run.name}-init",
+        generated=stats.generated,
+        legal=stats.legal,
+        unique=stats.admitted,
+        h1=h1_entropy(init_library) if init_library else 0.0,
+        h2=h2_entropy(init_library) if init_library else 0.0,
+    )
+
+
+def _iter_row(run: ModelRun) -> Table1Row:
+    return Table1Row(
+        method=f"PatternPaint-{run.name}-iter",
+        generated=run.total_generated,
+        legal=run.total_legal,
+        unique=len(run.library),
+        h1=h1_entropy(run.library) if run.library else 0.0,
+        h2=h2_entropy(run.library) if run.library else 0.0,
+    )
+
+
+def run_table1(
+    *, iterations: int = 6, seed: int = 0, use_cache: bool = True,
+    verbose: bool = False,
+) -> list[Table1Row]:
+    """Compute every Table I row (cached)."""
+    rows = [_starter_row()]
+    rows.append(_baseline_row("cup", "CUP", seed, use_cache))
+    rows.append(_baseline_row("diffpattern", "DiffPattern", seed, use_cache))
+    runs = all_patternpaint_runs(
+        iterations=iterations, seed=seed, use_cache=use_cache, verbose=verbose
+    )
+    for name in PATTERNPAINT_MODELS:
+        rows.append(_init_row(runs[name]))
+    for name in PATTERNPAINT_MODELS:
+        rows.append(_iter_row(runs[name]))
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Paper-style rendering of Table I."""
+    return format_table(
+        ["Method", "Generated", "Legal", "Unique", "H1", "H2"],
+        [row.as_list() for row in rows],
+        title="Table I: Performance comparison for layout pattern generation",
+    )

@@ -1,0 +1,66 @@
+"""Table II: average per-sample runtime comparison.
+
+Three rows: PatternPaint inpainting, PatternPaint template denoising, and
+DiffPattern end-to-end (sampling + solver legalization).  The reproduction
+target is the *ordering and ratio structure* — denoise << inpaint <<
+DiffPattern — rather than the absolute A100/Xeon numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import format_table
+from .runs import PATTERNPAINT_MODELS, all_patternpaint_runs, baseline_run
+
+__all__ = ["Table2Row", "run_table2", "format_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    method: str
+    avg_runtime_s: float
+
+    def as_list(self) -> list:
+        return [self.method, round(self.avg_runtime_s, 4)]
+
+
+def run_table2(*, seed: int = 0, use_cache: bool = True) -> list[Table2Row]:
+    """Compute Table II from the cached Table I runs."""
+    runs = all_patternpaint_runs(seed=seed, use_cache=use_cache)
+    inpaint = float(
+        np.mean(
+            [
+                stage.inpaint_seconds_per_sample
+                for name in PATTERNPAINT_MODELS
+                for stage in runs[name].stats
+                if stage.generated
+            ]
+        )
+    )
+    denoise = float(
+        np.mean(
+            [
+                stage.denoise_seconds_per_sample
+                for name in PATTERNPAINT_MODELS
+                for stage in runs[name].stats
+                if stage.generated
+            ]
+        )
+    )
+    diffpattern = baseline_run("diffpattern", seed=seed, use_cache=use_cache)
+    return [
+        Table2Row("PatternPaint (Inpainting)", inpaint),
+        Table2Row("PatternPaint (Denoising)", denoise),
+        Table2Row("DiffPattern", diffpattern.seconds_per_sample),
+    ]
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    return format_table(
+        ["Method", "Avg Runtime (s)"],
+        [row.as_list() for row in rows],
+        title="Table II: Runtime comparison with DiffPattern",
+    )

@@ -1,0 +1,72 @@
+"""Geometry substrate: grids, shapes, rasters and the squish representation."""
+
+from .grid import DEFAULT_GRID, Grid
+from .hashing import complexity_key, geometry_key, pattern_hash, squish_of
+from .raster import (
+    Run,
+    as_binary,
+    component_areas,
+    connected_components,
+    density,
+    gaps_in_line,
+    runs_in_line,
+    runs_per_column,
+    runs_per_row,
+    validate_clip,
+)
+from .shapes import Rect, decompose_rects, merge_touching_rects, rects_to_raster
+from .squish import (
+    SquishPattern,
+    extract_scan_lines,
+    scan_lines_x,
+    scan_lines_y,
+    squish,
+    topology_from_lines,
+    unsquish,
+)
+from .transforms import (
+    center_crop,
+    dihedral_variants,
+    flip_horizontal,
+    flip_vertical,
+    pad_to,
+    random_crop,
+    rotate90,
+)
+
+__all__ = [
+    "DEFAULT_GRID",
+    "Grid",
+    "Rect",
+    "Run",
+    "SquishPattern",
+    "as_binary",
+    "center_crop",
+    "complexity_key",
+    "component_areas",
+    "connected_components",
+    "decompose_rects",
+    "density",
+    "dihedral_variants",
+    "extract_scan_lines",
+    "flip_horizontal",
+    "flip_vertical",
+    "gaps_in_line",
+    "geometry_key",
+    "merge_touching_rects",
+    "pad_to",
+    "pattern_hash",
+    "random_crop",
+    "rects_to_raster",
+    "rotate90",
+    "runs_in_line",
+    "runs_per_column",
+    "runs_per_row",
+    "scan_lines_x",
+    "scan_lines_y",
+    "squish",
+    "squish_of",
+    "topology_from_lines",
+    "unsquish",
+    "validate_clip",
+]

@@ -1,0 +1,93 @@
+"""Pixel grid and physical-unit handling.
+
+PatternPaint operates on a *pixel-based* layout representation: every clip is
+a binary raster where each pixel covers a fixed physical area (the paper uses
+1 nm x 1 nm pixels on 512 x 512 clips; this reproduction defaults to 8 nm
+pixels on 64 x 64 clips, which preserves track structure at a tractable
+compute scale — see DESIGN.md).
+
+The :class:`Grid` object is the single source of truth for converting between
+pixel and nanometre quantities.  Design-rule decks store their values in
+pixels (integers) together with the grid they were authored for, so a deck
+can be re-expressed in nanometres for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Grid", "DEFAULT_GRID"]
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A uniform square pixel grid with a physical pitch.
+
+    Parameters
+    ----------
+    nm_per_px:
+        Physical edge length of one pixel in nanometres.  Must be positive.
+    width_px, height_px:
+        Nominal clip dimensions in pixels.  Individual arrays may be smaller
+        or larger (e.g. during cropping); the grid records the canonical clip
+        size used by generators and experiments.
+    """
+
+    nm_per_px: float = 8.0
+    width_px: int = 64
+    height_px: int = 64
+
+    def __post_init__(self) -> None:
+        if self.nm_per_px <= 0:
+            raise ValueError(f"nm_per_px must be positive, got {self.nm_per_px}")
+        if self.width_px <= 0 or self.height_px <= 0:
+            raise ValueError(
+                f"clip dimensions must be positive, got {self.width_px}x{self.height_px}"
+            )
+
+    # ------------------------------------------------------------------
+    # Unit conversion
+    # ------------------------------------------------------------------
+    def to_nm(self, px: float) -> float:
+        """Convert a pixel distance to nanometres."""
+        return px * self.nm_per_px
+
+    def to_px(self, nm: float) -> float:
+        """Convert a nanometre distance to (fractional) pixels."""
+        return nm / self.nm_per_px
+
+    def snap_px(self, nm: float) -> int:
+        """Convert a nanometre distance to the nearest whole pixel count."""
+        return round(nm / self.nm_per_px)
+
+    def area_nm2(self, px_area: float) -> float:
+        """Convert a pixel-count area into square nanometres."""
+        return px_area * self.nm_per_px * self.nm_per_px
+
+    # ------------------------------------------------------------------
+    # Clip geometry
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Canonical clip array shape ``(height_px, width_px)``."""
+        return (self.height_px, self.width_px)
+
+    @property
+    def clip_width_nm(self) -> float:
+        """Physical clip width in nanometres."""
+        return self.to_nm(self.width_px)
+
+    @property
+    def clip_height_nm(self) -> float:
+        """Physical clip height in nanometres."""
+        return self.to_nm(self.height_px)
+
+    def with_shape(self, height_px: int, width_px: int) -> "Grid":
+        """Return a copy of this grid with a different canonical clip size."""
+        return Grid(nm_per_px=self.nm_per_px, width_px=width_px, height_px=height_px)
+
+
+#: Default grid used throughout the reproduction: 64 x 64 clips, 8 nm pixels
+#: (512 nm x 512 nm field, matching the physical field of the paper's
+#: 512 x 512 @ 1 nm clips).
+DEFAULT_GRID = Grid(nm_per_px=8.0, width_px=64, height_px=64)

@@ -1,0 +1,48 @@
+"""Stable pattern identities for deduplication and diversity metrics.
+
+Three identity levels are used by the experiments:
+
+* **exact** — bit-level raster identity (``pattern_hash``); two clips are the
+  same *pattern* iff their pixels match.  Used for "unique patterns" counts.
+* **geometry** — the paper's H2 identity: the ``(dx, dy)`` scan-line spacing
+  vectors of the squish form (``geometry_key``).
+* **complexity** — the paper's H1 identity: the ``(Cx, Cy)`` complexity tuple
+  (``complexity_key``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .raster import as_binary
+from .squish import SquishPattern, squish
+
+__all__ = ["pattern_hash", "geometry_key", "complexity_key", "squish_of"]
+
+
+def pattern_hash(img: np.ndarray) -> str:
+    """Hex digest identifying the exact binary raster (shape-aware)."""
+    binary = as_binary(img)
+    hasher = hashlib.sha1()
+    hasher.update(np.asarray(binary.shape, dtype=np.int64).tobytes())
+    hasher.update(np.packbits(binary).tobytes())
+    return hasher.hexdigest()
+
+
+def squish_of(img_or_pattern: "np.ndarray | SquishPattern") -> SquishPattern:
+    """Coerce either a raster or an existing squish pattern to squish form."""
+    if isinstance(img_or_pattern, SquishPattern):
+        return img_or_pattern
+    return squish(img_or_pattern)
+
+
+def geometry_key(img_or_pattern: "np.ndarray | SquishPattern") -> tuple:
+    """The H2 identity: hashable ``(dx, dy)`` tuple pair."""
+    return squish_of(img_or_pattern).geometry_signature()
+
+
+def complexity_key(img_or_pattern: "np.ndarray | SquishPattern") -> tuple[int, int]:
+    """The H1 identity: ``(Cx, Cy)`` complexity tuple."""
+    return squish_of(img_or_pattern).complexity

@@ -1,0 +1,181 @@
+"""Rectilinear shapes on the pixel grid.
+
+Layout clips in this reproduction are binary rasters, but several subsystems
+(the rule-based generator, the GDSII-lite exporter, DRC reporting) want a
+shape-level view.  :class:`Rect` is a half-open axis-aligned rectangle in
+pixel coordinates, and :func:`decompose_rects` converts a binary raster into
+a canonical set of maximal horizontal-strip rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Rect", "decompose_rects", "rects_to_raster", "merge_touching_rects"]
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """Half-open rectangle ``[x0, x1) x [y0, y1)`` in pixel coordinates.
+
+    The half-open convention makes raster conversion exact:
+    ``raster[y0:y1, x0:x1] = 1`` covers the rectangle precisely.
+    """
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"degenerate rectangle {self!r}")
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles share at least one pixel."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """True when the rectangles share area or abut along an edge."""
+        return (
+            self.x0 <= other.x1
+            and other.x0 <= self.x1
+            and self.y0 <= other.y1
+            and other.y0 <= self.y1
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping region, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x0, other.x0),
+            max(self.y0, other.y0),
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+        )
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both operands."""
+        return Rect(
+            min(self.x0, other.x0),
+            min(self.y0, other.y0),
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def clipped(self, bounds: "Rect") -> "Rect | None":
+        """Clip to ``bounds``; ``None`` when nothing remains."""
+        return self.intersection(bounds)
+
+    def expanded(self, margin: int) -> "Rect":
+        """Grow (or shrink, for negative margin) on all four sides."""
+        return Rect(
+            self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin
+        )
+
+
+def rects_to_raster(
+    rects: Iterable[Rect], shape: tuple[int, int]
+) -> np.ndarray:
+    """Rasterize rectangles into a binary ``uint8`` array of ``shape``.
+
+    Rectangles extending beyond the canvas are clipped; rectangles entirely
+    outside are ignored.
+    """
+    img = np.zeros(shape, dtype=np.uint8)
+    height, width = shape
+    for rect in rects:
+        x0 = max(rect.x0, 0)
+        y0 = max(rect.y0, 0)
+        x1 = min(rect.x1, width)
+        y1 = min(rect.y1, height)
+        if x1 > x0 and y1 > y0:
+            img[y0:y1, x0:x1] = 1
+    return img
+
+
+def decompose_rects(img: np.ndarray) -> list[Rect]:
+    """Decompose a binary raster into maximal horizontal-strip rectangles.
+
+    Consecutive rows with an identical run are merged into one rectangle, so
+    the decomposition is canonical (independent of drawing order) and compact
+    for Manhattan layouts.  The output covers exactly the set pixels with no
+    overlaps.
+    """
+    arr = np.asarray(img)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D raster, got shape {arr.shape}")
+    binary = arr != 0
+    open_strips: dict[tuple[int, int], int] = {}  # (x0, x1) -> starting row
+    rects: list[Rect] = []
+
+    for y in range(binary.shape[0] + 1):
+        if y < binary.shape[0]:
+            row_runs = set(_row_runs(binary[y]))
+        else:
+            row_runs = set()
+        # Close strips that do not continue on this row.
+        for span in list(open_strips):
+            if span not in row_runs:
+                y_start = open_strips.pop(span)
+                rects.append(Rect(span[0], y_start, span[1], y))
+        # Open strips for new runs.
+        for span in row_runs:
+            open_strips.setdefault(span, y)
+
+    rects.sort()
+    return rects
+
+
+def merge_touching_rects(rects: Iterable[Rect], shape: tuple[int, int]) -> list[Rect]:
+    """Re-canonicalize a rectangle soup: rasterize then re-decompose.
+
+    Useful after geometric edits that may have produced overlapping or
+    abutting rectangles.
+    """
+    return decompose_rects(rects_to_raster(rects, shape))
+
+
+def _row_runs(row: np.ndarray) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` half-open spans of consecutive True values."""
+    padded = np.concatenate(([False], row, [False]))
+    changes = np.flatnonzero(padded[1:] != padded[:-1])
+    for start, stop in zip(changes[0::2], changes[1::2]):
+        yield int(start), int(stop)

@@ -1,0 +1,255 @@
+"""Squish pattern representation (Gennari & Lai, US 8832621B1).
+
+A Manhattan layout clip is fully described by
+
+* the sorted *scan line* positions along x and y — the coordinates at which
+  the clip content changes when sweeping across — including the two clip
+  borders, and
+* a binary *topology matrix* whose cell ``(i, j)`` records whether the region
+  between consecutive y scan lines ``i, i+1`` and x scan lines ``j, j+1``
+  contains metal, and
+* the *geometry vectors* ``dx``/``dy`` holding the spacing between adjacent
+  scan lines (:math:`\\Delta x_j`, :math:`\\Delta y_i` in the paper).
+
+Squish-based generators (CUP, DiffPattern) synthesise the topology matrix and
+hand the geometry vectors to a nonlinear solver; PatternPaint instead works
+directly at pixel level but uses scan lines for its template-based denoiser
+and for the H1/H2 diversity metrics.  This module provides exact, loss-less
+conversion in both directions.
+
+Complexity convention: the paper defines pattern complexity ``(Cx, Cy)`` as
+"the count of scan lines along the x-axis and y-axis, each reduced by one".
+With borders included in the scan-line list this equals ``len(dx)`` /
+``len(dy)``, i.e. the number of topology cells per axis; a featureless clip
+has complexity ``(1, 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .raster import as_binary
+
+__all__ = [
+    "SquishPattern",
+    "scan_lines_x",
+    "scan_lines_y",
+    "extract_scan_lines",
+    "squish",
+    "unsquish",
+    "topology_from_lines",
+]
+
+
+def scan_lines_x(img: np.ndarray) -> np.ndarray:
+    """Vertical scan-line x positions of a clip, borders included.
+
+    A scan line sits at every x where column ``x`` differs from column
+    ``x - 1``, plus the clip borders ``0`` and ``width``.
+    """
+    binary = as_binary(img)
+    if binary.shape[1] == 0:
+        return np.array([0], dtype=np.int64)
+    interior = 1 + np.flatnonzero(
+        (binary[:, 1:] != binary[:, :-1]).any(axis=0)
+    )
+    return np.concatenate(([0], interior, [binary.shape[1]])).astype(np.int64)
+
+
+def scan_lines_y(img: np.ndarray) -> np.ndarray:
+    """Horizontal scan-line y positions of a clip, borders included."""
+    binary = as_binary(img)
+    if binary.shape[0] == 0:
+        return np.array([0], dtype=np.int64)
+    interior = 1 + np.flatnonzero(
+        (binary[1:, :] != binary[:-1, :]).any(axis=1)
+    )
+    return np.concatenate(([0], interior, [binary.shape[0]])).astype(np.int64)
+
+
+def extract_scan_lines(img: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Both scan-line families ``(x_lines, y_lines)`` of a clip."""
+    return scan_lines_x(img), scan_lines_y(img)
+
+
+@dataclass(frozen=True)
+class SquishPattern:
+    """A layout clip in squish form: topology matrix + geometry vectors.
+
+    Attributes
+    ----------
+    topology:
+        Boolean array of shape ``(len(dy), len(dx))``; ``topology[i, j]`` is
+        True when cell ``(i, j)`` is metal.
+    dx, dy:
+        Positive integer spacings between consecutive scan lines along x and
+        y.  ``sum(dx)`` / ``sum(dy)`` give the clip width / height.
+    """
+
+    topology: np.ndarray
+    dx: np.ndarray
+    dy: np.ndarray
+    _x_lines: np.ndarray = field(init=False, repr=False, compare=False)
+    _y_lines: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        topology = np.asarray(self.topology, dtype=bool)
+        dx = np.asarray(self.dx, dtype=np.int64)
+        dy = np.asarray(self.dy, dtype=np.int64)
+        if topology.ndim != 2:
+            raise ValueError(f"topology must be 2-D, got shape {topology.shape}")
+        if dx.ndim != 1 or dy.ndim != 1:
+            raise ValueError("dx and dy must be 1-D arrays")
+        if topology.shape != (dy.size, dx.size):
+            raise ValueError(
+                f"topology shape {topology.shape} inconsistent with "
+                f"len(dy)={dy.size}, len(dx)={dx.size}"
+            )
+        if dx.size and dx.min() <= 0 or dy.size and dy.min() <= 0:
+            raise ValueError("scan-line spacings must be strictly positive")
+        object.__setattr__(self, "topology", topology)
+        object.__setattr__(self, "dx", dx)
+        object.__setattr__(self, "dy", dy)
+        object.__setattr__(
+            self, "_x_lines", np.concatenate(([0], np.cumsum(dx))).astype(np.int64)
+        )
+        object.__setattr__(
+            self, "_y_lines", np.concatenate(([0], np.cumsum(dy))).astype(np.int64)
+        )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Clip width in pixels."""
+        return int(self.dx.sum())
+
+    @property
+    def height(self) -> int:
+        """Clip height in pixels."""
+        return int(self.dy.sum())
+
+    @property
+    def x_lines(self) -> np.ndarray:
+        """Scan-line x positions, borders included."""
+        return self._x_lines
+
+    @property
+    def y_lines(self) -> np.ndarray:
+        """Scan-line y positions, borders included."""
+        return self._y_lines
+
+    @property
+    def complexity(self) -> tuple[int, int]:
+        """Paper complexity tuple ``(Cx, Cy)`` = scan-line counts minus one."""
+        return int(self.dx.size), int(self.dy.size)
+
+    def geometry_signature(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Hashable ``(dx, dy)`` tuple pair — the H2 identity of the clip."""
+        return tuple(int(v) for v in self.dx), tuple(int(v) for v in self.dy)
+
+    def full_signature(self) -> tuple:
+        """Hashable identity including topology (exact-pattern identity)."""
+        return (
+            self.geometry_signature(),
+            self.topology.tobytes(),
+            self.topology.shape,
+        )
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_image(self) -> np.ndarray:
+        """Expand back into a binary ``uint8`` raster."""
+        return np.repeat(
+            np.repeat(self.topology.astype(np.uint8), self.dy, axis=0),
+            self.dx,
+            axis=1,
+        )
+
+    def canonical(self) -> "SquishPattern":
+        """Merge identical adjacent rows/columns into minimal squish form."""
+        return squish(self.to_image())
+
+
+def squish(img: np.ndarray) -> SquishPattern:
+    """Extract the (minimal) squish representation of a binary clip.
+
+    The result is canonical: adjacent topology rows/columns always differ,
+    and :meth:`SquishPattern.to_image` restores the input exactly.
+    """
+    binary = as_binary(img)
+    if binary.ndim != 2 or binary.size == 0:
+        raise ValueError(f"expected a non-empty 2-D clip, got shape {binary.shape}")
+    x_lines = scan_lines_x(binary)
+    y_lines = scan_lines_y(binary)
+    topology = binary[np.ix_(y_lines[:-1], x_lines[:-1])]
+    return SquishPattern(
+        topology=topology,
+        dx=np.diff(x_lines),
+        dy=np.diff(y_lines),
+    )
+
+
+def unsquish(topology: np.ndarray, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    """Convenience wrapper: build a pattern and expand it to a raster."""
+    return SquishPattern(topology=topology, dx=dx, dy=dy).to_image()
+
+
+def topology_from_lines(
+    img: np.ndarray,
+    x_lines: np.ndarray,
+    y_lines: np.ndarray,
+    *,
+    vote_threshold: float = 0.5,
+) -> SquishPattern:
+    """Build a squish pattern from *prescribed* scan lines by majority vote.
+
+    This is the reconstruction step of the template-based denoiser
+    (Algorithm 1): the designated scan lines come from clustering/matching,
+    and each topology cell takes the majority value of the (possibly noisy)
+    pixels it covers.  Lines must include the borders ``0`` and the clip
+    width/height and be strictly increasing.
+    """
+    binary = as_binary(img).astype(np.float64)
+    x_lines = np.asarray(x_lines, dtype=np.int64)
+    y_lines = np.asarray(y_lines, dtype=np.int64)
+    _validate_lines(x_lines, binary.shape[1], "x")
+    _validate_lines(y_lines, binary.shape[0], "y")
+
+    # Integral image makes each cell vote an O(1) box sum.
+    integral = np.zeros((binary.shape[0] + 1, binary.shape[1] + 1))
+    integral[1:, 1:] = binary.cumsum(axis=0).cumsum(axis=1)
+
+    n_rows = y_lines.size - 1
+    n_cols = x_lines.size - 1
+    topology = np.zeros((n_rows, n_cols), dtype=bool)
+    for i in range(n_rows):
+        y0, y1 = y_lines[i], y_lines[i + 1]
+        for j in range(n_cols):
+            x0, x1 = x_lines[j], x_lines[j + 1]
+            total = (
+                integral[y1, x1]
+                - integral[y0, x1]
+                - integral[y1, x0]
+                + integral[y0, x0]
+            )
+            topology[i, j] = total > vote_threshold * (y1 - y0) * (x1 - x0)
+    return SquishPattern(
+        topology=topology, dx=np.diff(x_lines), dy=np.diff(y_lines)
+    )
+
+
+def _validate_lines(lines: np.ndarray, extent: int, axis: str) -> None:
+    if lines.size < 2:
+        raise ValueError(f"{axis} scan lines need at least the two borders")
+    if lines[0] != 0 or lines[-1] != extent:
+        raise ValueError(
+            f"{axis} scan lines must span [0, {extent}], got "
+            f"[{lines[0]}, {lines[-1]}]"
+        )
+    if np.any(np.diff(lines) <= 0):
+        raise ValueError(f"{axis} scan lines must be strictly increasing")

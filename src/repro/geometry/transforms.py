@@ -1,0 +1,89 @@
+"""Clip-level geometric transforms.
+
+Used for data augmentation of the pretraining corpus, mask placement, and
+test fixtures.  All transforms are pure functions on 2-D arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "flip_horizontal",
+    "flip_vertical",
+    "rotate90",
+    "pad_to",
+    "center_crop",
+    "random_crop",
+    "dihedral_variants",
+]
+
+
+def flip_horizontal(img: np.ndarray) -> np.ndarray:
+    """Mirror the clip left-right."""
+    return np.ascontiguousarray(np.asarray(img)[:, ::-1])
+
+
+def flip_vertical(img: np.ndarray) -> np.ndarray:
+    """Mirror the clip top-bottom."""
+    return np.ascontiguousarray(np.asarray(img)[::-1, :])
+
+
+def rotate90(img: np.ndarray, k: int = 1) -> np.ndarray:
+    """Rotate by ``k`` quarter turns counter-clockwise."""
+    return np.ascontiguousarray(np.rot90(np.asarray(img), k))
+
+
+def dihedral_variants(img: np.ndarray) -> list[np.ndarray]:
+    """All 8 dihedral-group images of a clip (4 rotations x optional flip).
+
+    Note: for track-oriented rule decks only the subgroup preserving track
+    direction (identity, vertical flip, horizontal flip, 180-degree rotation)
+    yields DR-equivalent clips; callers filter accordingly.
+    """
+    arr = np.asarray(img)
+    variants = [np.ascontiguousarray(np.rot90(arr, k)) for k in range(4)]
+    flipped = arr[:, ::-1]
+    variants.extend(np.ascontiguousarray(np.rot90(flipped, k)) for k in range(4))
+    return variants
+
+
+def pad_to(
+    img: np.ndarray, shape: tuple[int, int], *, fill: int = 0
+) -> np.ndarray:
+    """Pad a clip symmetrically up to ``shape`` (no-op when already there)."""
+    arr = np.asarray(img)
+    target_h, target_w = shape
+    if arr.shape[0] > target_h or arr.shape[1] > target_w:
+        raise ValueError(f"cannot pad {arr.shape} down to {shape}")
+    pad_h = target_h - arr.shape[0]
+    pad_w = target_w - arr.shape[1]
+    return np.pad(
+        arr,
+        ((pad_h // 2, pad_h - pad_h // 2), (pad_w // 2, pad_w - pad_w // 2)),
+        constant_values=fill,
+    )
+
+
+def center_crop(img: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Crop the central ``shape`` window of a clip."""
+    arr = np.asarray(img)
+    target_h, target_w = shape
+    if arr.shape[0] < target_h or arr.shape[1] < target_w:
+        raise ValueError(f"cannot crop {arr.shape} up to {shape}")
+    y0 = (arr.shape[0] - target_h) // 2
+    x0 = (arr.shape[1] - target_w) // 2
+    return np.ascontiguousarray(arr[y0 : y0 + target_h, x0 : x0 + target_w])
+
+
+def random_crop(
+    img: np.ndarray, shape: tuple[int, int], rng: np.random.Generator
+) -> np.ndarray:
+    """Crop a uniformly random ``shape`` window of a clip."""
+    arr = np.asarray(img)
+    target_h, target_w = shape
+    if arr.shape[0] < target_h or arr.shape[1] < target_w:
+        raise ValueError(f"cannot crop {arr.shape} up to {shape}")
+    y0 = int(rng.integers(0, arr.shape[0] - target_h + 1))
+    x0 = int(rng.integers(0, arr.shape[1] - target_w + 1))
+    return np.ascontiguousarray(arr[y0 : y0 + target_h, x0 : x0 + target_w])

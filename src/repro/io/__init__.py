@@ -1,0 +1,19 @@
+"""IO: PNG rendering, ASCII art, GDSII export, clip persistence."""
+
+from .ascii_art import render_clip, render_side_by_side
+from .clips import load_clips, save_clips
+from .gdsii import clip_to_gds, gds_to_clip, read_gds_rects, write_gds
+from .png import clip_to_png, grid_sheet, write_png
+
+__all__ = [
+    "clip_to_gds",
+    "clip_to_png",
+    "gds_to_clip",
+    "grid_sheet",
+    "load_clips",
+    "read_gds_rects",
+    "render_clip",
+    "render_side_by_side",
+    "save_clips",
+    "write_png",
+]

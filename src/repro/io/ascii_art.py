@@ -1,0 +1,58 @@
+"""Terminal rendering of layout clips (logs, docs, quick inspection)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_clip", "render_side_by_side"]
+
+
+def render_clip(
+    clip: np.ndarray,
+    *,
+    metal: str = "#",
+    space: str = ".",
+    mask: np.ndarray | None = None,
+    masked_char: str = "?",
+    max_width: int = 120,
+) -> str:
+    """ASCII rendering of a binary clip; masked cells show ``masked_char``."""
+    binary = np.asarray(clip) != 0
+    if binary.ndim != 2:
+        raise ValueError(f"expected a 2-D clip, got shape {binary.shape}")
+    step = max(1, binary.shape[1] // max_width)
+    rows = []
+    for y in range(0, binary.shape[0], step):
+        chars = []
+        for x in range(0, binary.shape[1], step):
+            if mask is not None and mask[y, x]:
+                chars.append(masked_char)
+            else:
+                chars.append(metal if binary[y, x] else space)
+        rows.append("".join(chars))
+    return "\n".join(rows)
+
+
+def render_side_by_side(
+    clips: list[np.ndarray], *, labels: list[str] | None = None, gap: str = "   "
+) -> str:
+    """Render clips next to each other with optional column labels."""
+    if not clips:
+        return ""
+    rendered = [render_clip(c).splitlines() for c in clips]
+    height = max(len(r) for r in rendered)
+    widths = [max(len(line) for line in r) for r in rendered]
+    lines = []
+    if labels:
+        header = gap.join(
+            f"{label:<{w}}" for label, w in zip(labels, widths)
+        )
+        lines.append(header)
+    for y in range(height):
+        lines.append(
+            gap.join(
+                (r[y] if y < len(r) else "").ljust(w)
+                for r, w in zip(rendered, widths)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Bulk clip-library persistence (compressed ``.npz``)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_clips", "load_clips"]
+
+
+def save_clips(
+    path: "str | Path", clips: list[np.ndarray], *, meta: dict | None = None
+) -> Path:
+    """Save a clip list (uniform shape) with optional JSON metadata."""
+    if not clips:
+        raise ValueError("refusing to save an empty clip library")
+    stack = np.stack([np.asarray(c, dtype=np.uint8) for c in clips])
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        clips=np.packbits(stack, axis=-1),
+        shape=np.asarray(stack.shape, dtype=np.int64),
+        meta=np.frombuffer(json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_clips(path: "str | Path") -> tuple[list[np.ndarray], dict]:
+    """Load a clip library saved by :func:`save_clips`."""
+    with np.load(Path(path)) as archive:
+        shape = tuple(int(v) for v in archive["shape"])
+        packed = archive["clips"]
+        meta_raw = archive["meta"].tobytes() if "meta" in archive else b"{}"
+    unpacked = np.unpackbits(packed, axis=-1, count=shape[-1])
+    stack = unpacked.reshape(shape).astype(np.uint8)
+    return [stack[i] for i in range(shape[0])], json.loads(meta_raw.decode("utf-8"))

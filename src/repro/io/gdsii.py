@@ -1,0 +1,168 @@
+"""Minimal GDSII stream writer/reader for single-layer rectangle layouts.
+
+Pattern libraries are only useful downstream (OPC, hotspot studies) if they
+can leave the Python world; GDSII is the lingua franca.  This module writes
+real binary GDSII (record-structured, big-endian, BOUNDARY elements with
+four-corner closed paths) that any layout viewer can open, and reads back
+the subset it writes — enough for lossless round-trips of clip libraries.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..geometry.grid import Grid
+from ..geometry.shapes import Rect, decompose_rects, rects_to_raster
+
+__all__ = ["write_gds", "read_gds_rects", "clip_to_gds", "gds_to_clip"]
+
+# GDSII record types (type << 8 | data_type).
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_ENDLIB = 0x0400
+_BOUNDARY = 0x0800
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+
+_DEFAULT_TIMESTAMP = (2025, 1, 1, 0, 0, 0)
+
+
+def _record(rec: int, payload: bytes = b"") -> bytes:
+    return struct.pack(">HH", len(payload) + 4, rec) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii")
+    if len(data) % 2:
+        data += b"\x00"
+    return data
+
+
+def _gds_real8(value: float) -> bytes:
+    """Encode a float as GDSII 8-byte excess-64 base-16 real."""
+    if value == 0.0:
+        return b"\x00" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">B7s", sign | exponent, mantissa.to_bytes(7, "big"))
+
+
+def write_gds(
+    path: "str | Path",
+    rects: list[Rect],
+    *,
+    grid: Grid,
+    layer: int = 10,
+    cell_name: str = "CLIP",
+    lib_name: str = "REPRO",
+) -> Path:
+    """Write rectangles (pixel coordinates) as one GDSII cell.
+
+    Pixel coordinates are scaled by the grid's pitch; database unit is 1 nm.
+    """
+    nm = grid.nm_per_px
+    ts = struct.pack(">12h", *(_DEFAULT_TIMESTAMP * 2))
+    out = [
+        _record(_HEADER, struct.pack(">h", 600)),
+        _record(_BGNLIB, ts),
+        _record(_LIBNAME, _ascii(lib_name)),
+        # user unit = 1e-3 (1 um per 1000 db units), db unit = 1e-9 m (1 nm)
+        _record(_UNITS, _gds_real8(1e-3) + _gds_real8(1e-9)),
+        _record(_BGNSTR, ts),
+        _record(_STRNAME, _ascii(cell_name)),
+    ]
+    for rect in rects:
+        x0 = int(round(rect.x0 * nm))
+        x1 = int(round(rect.x1 * nm))
+        # GDSII Y axis points up; clip row 0 is the top.
+        y_top = int(round((grid.height_px - rect.y0) * nm))
+        y_bot = int(round((grid.height_px - rect.y1) * nm))
+        points = [
+            (x0, y_bot),
+            (x1, y_bot),
+            (x1, y_top),
+            (x0, y_top),
+            (x0, y_bot),
+        ]
+        xy = b"".join(struct.pack(">ii", x, y) for x, y in points)
+        out.extend(
+            [
+                _record(_BOUNDARY),
+                _record(_LAYER, struct.pack(">h", layer)),
+                _record(_DATATYPE, struct.pack(">h", 0)),
+                _record(_XY, xy),
+                _record(_ENDEL),
+            ]
+        )
+    out.extend([_record(_ENDSTR), _record(_ENDLIB)])
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"".join(out))
+    return path
+
+
+def read_gds_rects(path: "str | Path", *, grid: Grid) -> list[Rect]:
+    """Read back axis-aligned BOUNDARY rectangles written by this module."""
+    data = Path(path).read_bytes()
+    offset = 0
+    rects: list[Rect] = []
+    nm = grid.nm_per_px
+    current_xy: list[tuple[int, int]] | None = None
+    while offset + 4 <= len(data):
+        (length, rec) = struct.unpack(">HH", data[offset : offset + 4])
+        if length < 4:
+            raise ValueError(f"corrupt GDSII record at offset {offset}")
+        payload = data[offset + 4 : offset + length]
+        offset += length
+        if rec == _XY:
+            count = len(payload) // 8
+            current_xy = [
+                struct.unpack(">ii", payload[i * 8 : i * 8 + 8])
+                for i in range(count)
+            ]
+        elif rec == _ENDEL and current_xy:
+            xs = sorted({p[0] for p in current_xy})
+            ys = sorted({p[1] for p in current_xy})
+            if len(xs) == 2 and len(ys) == 2:
+                x0 = int(round(xs[0] / nm))
+                x1 = int(round(xs[1] / nm))
+                y0 = grid.height_px - int(round(ys[1] / nm))
+                y1 = grid.height_px - int(round(ys[0] / nm))
+                rects.append(Rect(x0, y0, x1, y1))
+            current_xy = None
+        elif rec == _ENDLIB:
+            break
+    return sorted(rects)
+
+
+def clip_to_gds(
+    path: "str | Path", clip: np.ndarray, *, grid: Grid, layer: int = 10
+) -> Path:
+    """Decompose a binary clip into rectangles and write it as GDSII."""
+    return write_gds(path, decompose_rects(clip), grid=grid, layer=layer)
+
+
+def gds_to_clip(path: "str | Path", *, grid: Grid) -> np.ndarray:
+    """Read a GDSII clip written by :func:`clip_to_gds` back into a raster."""
+    rects = read_gds_rects(path, grid=grid)
+    return rects_to_raster(rects, grid.shape)

@@ -1,0 +1,117 @@
+"""Dependency-free PNG writer (stdlib zlib only).
+
+Used to render layout clips, masks and generated galleries (Figures 5, 6
+and 8) without requiring an imaging library in the offline environment.
+Supports 8-bit grayscale and RGB images.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_png", "clip_to_png", "grid_sheet"]
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+    )
+
+
+def write_png(path: "str | Path", image: np.ndarray) -> Path:
+    """Write an (H, W) grayscale or (H, W, 3) RGB uint8 array as PNG."""
+    arr = np.asarray(image)
+    if arr.dtype != np.uint8:
+        raise ValueError(f"expected uint8 pixels, got {arr.dtype}")
+    if arr.ndim == 2:
+        color_type = 0
+        row_data = arr[:, :, None]
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        color_type = 2
+        row_data = arr
+    else:
+        raise ValueError(f"expected (H, W) or (H, W, 3), got shape {arr.shape}")
+
+    height, width = arr.shape[:2]
+    header = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    raw = b"".join(
+        b"\x00" + row_data[y].tobytes() for y in range(height)
+    )
+    payload = (
+        _PNG_SIGNATURE
+        + _chunk(b"IHDR", header)
+        + _chunk(b"IDAT", zlib.compress(raw, 9))
+        + _chunk(b"IEND", b"")
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(payload)
+    return path
+
+
+def clip_to_png(
+    path: "str | Path",
+    clip: np.ndarray,
+    *,
+    scale: int = 8,
+    mask: np.ndarray | None = None,
+) -> Path:
+    """Render a binary clip (optionally with a highlighted mask) to PNG.
+
+    Metal is dark blue on white; masked regions get a red tint.  ``scale``
+    up-samples each pixel into a block for visibility.
+    """
+    binary = (np.asarray(clip) != 0).astype(np.uint8)
+    h, w = binary.shape
+    rgb = np.empty((h, w, 3), dtype=np.uint8)
+    rgb[binary == 0] = (245, 245, 245)
+    rgb[binary == 1] = (30, 60, 130)
+    if mask is not None:
+        m = np.asarray(mask).astype(bool)
+        if m.shape != binary.shape:
+            raise ValueError("mask shape must match the clip")
+        tint = rgb[m].astype(np.int32)
+        tint[:, 0] = np.minimum(255, tint[:, 0] + 90)
+        rgb[m] = tint.astype(np.uint8)
+    big = np.repeat(np.repeat(rgb, scale, axis=0), scale, axis=1)
+    return write_png(path, big)
+
+
+def grid_sheet(
+    path: "str | Path",
+    clips: list[np.ndarray],
+    *,
+    columns: int = 5,
+    scale: int = 4,
+    gutter: int = 2,
+) -> Path:
+    """Tile many clips into one contact-sheet PNG (Figure 8-style gallery)."""
+    if not clips:
+        raise ValueError("need at least one clip")
+    h, w = np.asarray(clips[0]).shape
+    rows = -(-len(clips) // columns)
+    sheet = np.full(
+        (rows * (h + gutter) - gutter, columns * (w + gutter) - gutter, 3),
+        200,
+        dtype=np.uint8,
+    )
+    for i, clip in enumerate(clips):
+        binary = (np.asarray(clip) != 0).astype(np.uint8)
+        rgb = np.empty((h, w, 3), dtype=np.uint8)
+        rgb[binary == 0] = (245, 245, 245)
+        rgb[binary == 1] = (30, 60, 130)
+        r, c = divmod(i, columns)
+        y0 = r * (h + gutter)
+        x0 = c * (w + gutter)
+        sheet[y0 : y0 + h, x0 : x0 + w] = rgb
+    big = np.repeat(np.repeat(sheet, scale, axis=0), scale, axis=1)
+    return write_png(path, big)

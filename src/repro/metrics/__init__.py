@@ -1,0 +1,20 @@
+"""Evaluation metrics: legality, uniqueness, H1/H2 diversity entropies."""
+
+from .diversity import LibrarySummary, summarize_library, unique_clips, unique_count
+from .entropy import class_entropy, entropy_from_counts, h1_entropy, h2_entropy
+from .legality import count_legal, legality_rate, split_legal, success_percent
+
+__all__ = [
+    "LibrarySummary",
+    "class_entropy",
+    "count_legal",
+    "entropy_from_counts",
+    "h1_entropy",
+    "h2_entropy",
+    "legality_rate",
+    "split_legal",
+    "success_percent",
+    "summarize_library",
+    "unique_clips",
+    "unique_count",
+]

@@ -1,0 +1,60 @@
+"""Uniqueness and spread statistics for pattern libraries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..geometry.hashing import pattern_hash
+from ..geometry.raster import density
+
+__all__ = ["unique_count", "unique_clips", "LibrarySummary", "summarize_library"]
+
+
+def unique_count(clips: Iterable[np.ndarray]) -> int:
+    """Number of bit-exact distinct patterns."""
+    return len({pattern_hash(clip) for clip in clips})
+
+
+def unique_clips(clips: Iterable[np.ndarray]) -> list[np.ndarray]:
+    """First occurrence of each distinct pattern, order preserved."""
+    seen: set[str] = set()
+    out: list[np.ndarray] = []
+    for clip in clips:
+        digest = pattern_hash(clip)
+        if digest not in seen:
+            seen.add(digest)
+            out.append(clip)
+    return out
+
+
+@dataclass(frozen=True)
+class LibrarySummary:
+    """Headline statistics of a pattern library."""
+
+    count: int
+    unique: int
+    h1: float
+    h2: float
+    mean_density: float
+
+    def row(self) -> tuple:
+        return (self.count, self.unique, self.h1, self.h2, self.mean_density)
+
+
+def summarize_library(clips: Sequence[np.ndarray]) -> LibrarySummary:
+    """Compute counts, uniqueness, H1/H2 and density for a clip set."""
+    from .entropy import h1_entropy, h2_entropy  # avoid import cycle
+
+    clips = list(clips)
+    if not clips:
+        return LibrarySummary(0, 0, 0.0, 0.0, 0.0)
+    return LibrarySummary(
+        count=len(clips),
+        unique=unique_count(clips),
+        h1=h1_entropy(clips),
+        h2=h2_entropy(clips),
+        mean_density=float(np.mean([density(c) for c in clips])),
+    )

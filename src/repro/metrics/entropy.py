@@ -1,0 +1,59 @@
+"""Diversity entropies H1 and H2 (Section III).
+
+Both metrics are Shannon entropies (base 2) over identity classes of the
+pattern library:
+
+* **H1** — classes are complexity tuples ``(Cx, Cy)`` (scan-line counts per
+  axis minus one): purely topological diversity.
+* **H2** — classes are the geometry signatures ``(dx, dy)`` (the squish
+  delta vectors): topology *and* physical dimensions.  This is the paper's
+  headline diversity metric, since DFM work needs width variation on a
+  given topology as much as new topologies.
+
+With base-2 logs, a library of ``n`` patterns with all-distinct classes
+scores ``log2(n)`` — e.g. the 20 starter patterns score H2 = 4.32 in the
+paper, which is exactly ``log2(20)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..geometry.hashing import complexity_key, geometry_key
+
+__all__ = ["entropy_from_counts", "class_entropy", "h1_entropy", "h2_entropy"]
+
+
+def entropy_from_counts(counts: Iterable[int]) -> float:
+    """Shannon entropy (bits) of a discrete histogram."""
+    values = np.asarray(list(counts), dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    if (values < 0).any():
+        raise ValueError("counts must be non-negative")
+    total = values.sum()
+    if total <= 0:
+        return 0.0
+    p = values[values > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def class_entropy(
+    clips: Iterable[np.ndarray], key_fn: "callable[[np.ndarray], Hashable]"
+) -> float:
+    """Entropy over arbitrary identity classes of a clip collection."""
+    counter = Counter(key_fn(clip) for clip in clips)
+    return entropy_from_counts(counter.values())
+
+
+def h1_entropy(clips: Iterable[np.ndarray]) -> float:
+    """Topology-complexity entropy H1 over ``(Cx, Cy)`` classes."""
+    return class_entropy(clips, complexity_key)
+
+
+def h2_entropy(clips: Iterable[np.ndarray]) -> float:
+    """Geometry entropy H2 over squish ``(dx, dy)`` signature classes."""
+    return class_entropy(clips, geometry_key)

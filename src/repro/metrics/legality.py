@@ -1,0 +1,40 @@
+"""Legality metrics: DR-clean rates and success rates."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..drc.engine import DrcEngine
+
+__all__ = ["count_legal", "legality_rate", "success_percent", "split_legal"]
+
+
+def count_legal(clips: Iterable[np.ndarray], engine: DrcEngine) -> int:
+    """Number of clips passing the deck."""
+    return sum(1 for clip in clips if engine.is_clean(clip))
+
+
+def legality_rate(clips: Sequence[np.ndarray], engine: DrcEngine) -> float:
+    """Fraction of clips passing the deck (0.0 for an empty batch)."""
+    clips = list(clips)
+    if not clips:
+        return 0.0
+    return count_legal(clips, engine) / len(clips)
+
+
+def success_percent(clips: Sequence[np.ndarray], engine: DrcEngine) -> float:
+    """Table III's generation success rate: legal / generated * 100."""
+    return 100.0 * legality_rate(clips, engine)
+
+
+def split_legal(
+    clips: Sequence[np.ndarray], engine: DrcEngine
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Partition clips into ``(legal, illegal)`` lists, order preserved."""
+    legal: list[np.ndarray] = []
+    illegal: list[np.ndarray] = []
+    for clip in clips:
+        (legal if engine.is_clean(clip) else illegal).append(clip)
+    return legal, illegal

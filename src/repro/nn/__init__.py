@@ -1,0 +1,35 @@
+"""Pure-numpy neural-network substrate with manual backpropagation."""
+
+from .blocks import ResBlock, SelfAttention2d, TimeMlp, sinusoidal_embedding
+from .layers import AvgPool2x, Conv2d, GroupNorm, Identity, Linear, SiLU, Upsample2x
+from .optim import Adam, Ema, clip_grad_norm, global_grad_norm
+from .serialize import load_into, load_module_state, save_module
+from .tensor import Module, Parameter, kaiming_normal, zeros_init
+from .unet import TimeUnet, UNetConfig
+
+__all__ = [
+    "Adam",
+    "AvgPool2x",
+    "Conv2d",
+    "Ema",
+    "GroupNorm",
+    "Identity",
+    "Linear",
+    "Module",
+    "Parameter",
+    "ResBlock",
+    "SelfAttention2d",
+    "SiLU",
+    "TimeMlp",
+    "TimeUnet",
+    "UNetConfig",
+    "Upsample2x",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "kaiming_normal",
+    "load_into",
+    "load_module_state",
+    "save_module",
+    "sinusoidal_embedding",
+    "zeros_init",
+]

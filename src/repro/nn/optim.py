@@ -1,0 +1,118 @@
+"""Optimization utilities: Adam, EMA of parameters, gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Module, Parameter
+
+__all__ = ["Adam", "Ema", "clip_grad_norm", "global_grad_norm"]
+
+
+class Adam:
+    """Adam (Kingma & Ba) with optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self.t += 1
+        bias1 = 1.0 - self.beta1**self.t
+        bias2 = 1.0 - self.beta2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            grad = p.grad
+            if self.weight_decay:
+                p.data *= 1.0 - self.lr * self.weight_decay
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(grad)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Ema:
+    """Exponential moving average of a module's parameters.
+
+    Sampling from the EMA weights rather than the raw weights noticeably
+    improves DDPM output quality; :meth:`swap_in`/:meth:`swap_out` install
+    and restore the averaged weights around sampling.
+    """
+
+    def __init__(self, module: Module, decay: float = 0.995):
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        self.decay = decay
+        self._params = module.parameters()
+        self._shadow = [p.data.copy() for p in self._params]
+        self._backup: list[np.ndarray] | None = None
+
+    def update(self) -> None:
+        d = self.decay
+        for shadow, p in zip(self._shadow, self._params):
+            shadow *= d
+            shadow += (1.0 - d) * p.data
+
+    def swap_in(self) -> None:
+        """Install EMA weights (keeping a backup of the live weights)."""
+        if self._backup is not None:
+            raise RuntimeError("EMA weights already swapped in")
+        self._backup = [p.data.copy() for p in self._params]
+        for p, shadow in zip(self._params, self._shadow):
+            p.data[...] = shadow
+
+    def swap_out(self) -> None:
+        """Restore the live training weights."""
+        if self._backup is None:
+            raise RuntimeError("EMA weights are not swapped in")
+        for p, backup in zip(self._params, self._backup):
+            p.data[...] = backup
+        self._backup = None
+
+    def copy_to(self, module: Module) -> None:
+        """Write the EMA weights into ``module`` permanently."""
+        for p, shadow in zip(module.parameters(), self._shadow):
+            p.data[...] = shadow
+
+
+def global_grad_norm(params: list[Parameter]) -> float:
+    """L2 norm over all parameter gradients."""
+    total = 0.0
+    for p in params:
+        total += float(np.square(p.grad).sum())
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for p in params:
+            p.grad *= scale
+    return norm

@@ -1,0 +1,42 @@
+"""Checkpoint serialization for :class:`~repro.nn.tensor.Module` objects."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .tensor import Module
+
+__all__ = ["save_module", "load_module_state", "load_into"]
+
+_META_KEY = "__meta_json__"
+
+
+def save_module(module: Module, path: "str | Path", *, meta: dict | None = None) -> None:
+    """Write a module's state dict (and optional JSON metadata) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(module.state_dict())
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+
+
+def load_module_state(path: "str | Path") -> tuple[dict[str, np.ndarray], dict]:
+    """Read ``(state_dict, meta)`` from a checkpoint file."""
+    with np.load(Path(path)) as archive:
+        meta_raw = archive[_META_KEY].tobytes() if _META_KEY in archive else b"{}"
+        state = {
+            key: archive[key] for key in archive.files if key != _META_KEY
+        }
+    return state, json.loads(meta_raw.decode("utf-8"))
+
+
+def load_into(module: Module, path: "str | Path") -> dict:
+    """Load a checkpoint into ``module``; returns the stored metadata."""
+    state, meta = load_module_state(path)
+    module.load_state_dict(state)
+    return meta

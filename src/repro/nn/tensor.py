@@ -1,0 +1,131 @@
+"""Parameter containers and the module protocol for the numpy NN substrate.
+
+This reproduction cannot use GPU deep-learning frameworks (offline, CPU-only
+environment), so the diffusion models are built on a small, explicit
+reverse-mode substrate:
+
+* a :class:`Parameter` couples a value array with its gradient accumulator;
+* a :class:`Module` owns parameters/submodules discovered by attribute
+  reflection and exposes ``forward``/``backward`` with per-call caches.
+
+Layers are single-use between ``forward`` and ``backward`` (no reentrancy),
+which is all a training loop needs and keeps every backward rule explicit
+and unit-testable by finite differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "kaiming_normal", "zeros_init"]
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class: reflection-based parameter/submodule discovery.
+
+    Subclasses assign :class:`Parameter`, :class:`Module`, or lists of
+    modules as attributes; :meth:`parameters` walks them in deterministic
+    attribute order.  ``state_dict`` keys are dotted attribute paths, stable
+    across processes for serialization.
+    """
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def backward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Parameter discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        found: list[tuple[str, Parameter]] = []
+        for attr, value in vars(self).items():
+            path = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                found.append((path, value))
+            elif isinstance(value, Module):
+                found.extend(value.named_parameters(prefix=f"{path}."))
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        found.extend(
+                            item.named_parameters(prefix=f"{path}.{i}.")
+                        )
+                    elif isinstance(item, Parameter):
+                        found.append((f"{path}.{i}", item))
+        return found
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, p in own.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"checkpoint {value.shape} vs model {p.data.shape}"
+                )
+            p.data[...] = value
+
+
+def kaiming_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He-normal initialization for ReLU-family nonlinearities."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)

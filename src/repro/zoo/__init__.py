@@ -1,0 +1,35 @@
+"""Model zoo: deterministic, cached datasets and trained checkpoints."""
+
+from .artifacts import (
+    VARIANTS,
+    artifacts_dir,
+    build_all,
+    cup_model,
+    diffpattern_model,
+    finetuned,
+    model_config,
+    pretrained,
+)
+from .corpora import (
+    EXPERIMENT_GRID,
+    baseline_training_set,
+    experiment_deck,
+    pretrain_corpus,
+    starter_patterns,
+)
+
+__all__ = [
+    "EXPERIMENT_GRID",
+    "VARIANTS",
+    "artifacts_dir",
+    "baseline_training_set",
+    "build_all",
+    "cup_model",
+    "diffpattern_model",
+    "experiment_deck",
+    "finetuned",
+    "model_config",
+    "pretrained",
+    "pretrain_corpus",
+    "starter_patterns",
+]

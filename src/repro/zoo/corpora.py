@@ -1,0 +1,72 @@
+"""Deterministic datasets used by experiments, benches and examples.
+
+Three corpora mirror the paper's data sources:
+
+* ``pretrain_corpus`` — a large synthetic library from the *pretraining
+  node* (pitch 10, widths {2, 4, 6}); stands in for the image-foundation
+  model's training distribution.
+* ``starter_patterns`` — the 20 DR-clean starter clips on the target
+  (advanced / node-A proxy) deck.
+* ``baseline_training_set`` — the 1000-clip commercial-tool library used to
+  train CUP and DiffPattern (the paper obtains these from a commercial
+  generator because 20 samples cannot train those models).
+
+Everything is seeded; the same call always returns the same clips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.rule_based import (
+    TrackGeneratorConfig,
+    TrackPatternGenerator,
+    pretrain_node_config,
+)
+from ..drc.decks import RuleDeck, advanced_deck
+from ..geometry.grid import Grid
+
+__all__ = [
+    "EXPERIMENT_GRID",
+    "experiment_deck",
+    "pretrain_corpus",
+    "starter_patterns",
+    "baseline_training_set",
+]
+
+#: Experiments run on 32 x 32 clips at 16 nm/px (a 512 nm field, like the
+#: paper's 512 x 512 @ 1 nm clips) so the numpy diffusion stack trains and
+#: samples in minutes on CPU.  The library itself supports any grid.
+EXPERIMENT_GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+def experiment_deck(grid: Grid = EXPERIMENT_GRID) -> RuleDeck:
+    """The target rule deck of all main experiments (advanced / node-A)."""
+    return advanced_deck(grid)
+
+
+def pretrain_corpus(
+    n: int = 400, *, grid: Grid = EXPERIMENT_GRID, seed: int = 7
+) -> list[np.ndarray]:
+    """DR-clean clips from the pretraining node."""
+    deck = pretrain_node_config(grid)
+    generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+    return generator.sample_many(n, np.random.default_rng(seed))
+
+
+def starter_patterns(
+    n: int = 20, *, grid: Grid = EXPERIMENT_GRID, seed: int = 2024
+) -> list[np.ndarray]:
+    """The paper's 20 starter patterns on the target deck."""
+    deck = experiment_deck(grid)
+    generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+    return generator.sample_many(n, np.random.default_rng(seed))
+
+
+def baseline_training_set(
+    n: int = 1000, *, grid: Grid = EXPERIMENT_GRID, seed: int = 99
+) -> list[np.ndarray]:
+    """The 1000-clip library used to train the CUP/DiffPattern baselines."""
+    deck = experiment_deck(grid)
+    generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+    return generator.sample_many(n, np.random.default_rng(seed))

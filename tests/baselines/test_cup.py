@@ -1,0 +1,72 @@
+"""Unit tests for the CUP VAE baseline (tiny configs)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CupConfig, CupGenerator, CupModel, SolverSettings
+from repro.drc import basic_deck
+from repro.geometry import Grid
+
+GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+def tiny_model():
+    return CupModel(CupConfig(image_size=16, latent_dim=8, base_channels=8, seed=0))
+
+
+def tiny_dataset(n=16, size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    clips = np.zeros((n, 1, size, size), dtype=np.float32)
+    for i in range(n):
+        offset = int(rng.integers(2, size - 5))
+        clips[i, 0, :, offset : offset + 3] = 1.0
+    return clips
+
+
+class TestCupModel:
+    def test_forward_shapes(self):
+        model = tiny_model()
+        rng = np.random.default_rng(0)
+        logits, mu, logvar = model.forward(tiny_dataset(4), rng)
+        assert logits.shape == (4, 1, 16, 16)
+        assert mu.shape == (4, 8)
+        assert logvar.shape == (4, 8)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CupConfig(image_size=18)
+
+    def test_loss_decreases_when_overfitting(self):
+        model = tiny_model()
+        data = tiny_dataset(8)
+        rng = np.random.default_rng(0)
+        losses = model.fit(data, steps=80, batch_size=8, lr=2e-3, rng=rng)
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_kl_term_is_finite_and_positive(self):
+        model = tiny_model()
+        rng = np.random.default_rng(0)
+        _, _, kl = model.loss_and_backward(tiny_dataset(4), rng)
+        assert np.isfinite(kl)
+        assert kl >= 0
+
+    def test_sample_canvases(self):
+        model = tiny_model()
+        canvases = model.sample_canvases(3, np.random.default_rng(0))
+        assert len(canvases) == 3
+        assert canvases[0].shape == (16, 16)
+        assert canvases[0].dtype == np.uint8
+
+
+class TestCupGenerator:
+    def test_generate_returns_only_clean_clips(self):
+        deck = basic_deck(GRID)
+        model = CupModel(CupConfig(image_size=32, latent_dim=8, base_channels=8))
+        generator = CupGenerator(
+            model, deck, SolverSettings(max_iter=40, discrete_restarts=0)
+        )
+        legal, attempts, seconds = generator.generate(4, np.random.default_rng(0))
+        assert attempts == 4
+        assert seconds >= 0
+        engine = deck.engine()
+        assert all(engine.is_clean(clip) for clip in legal)

@@ -1,0 +1,108 @@
+"""Unit tests for the DiffPattern discrete-diffusion baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DiffPatternGenerator,
+    DiscreteDiffusion,
+    DiscreteDiffusionConfig,
+    SolverSettings,
+)
+from repro.drc import basic_deck
+from repro.geometry import Grid
+from repro.nn import TimeUnet, UNetConfig
+
+GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+def tiny_diffusion(size=16):
+    unet = TimeUnet(
+        UNetConfig(
+            image_size=size, base_channels=8, channel_mults=(1,),
+            num_res_blocks=1, groups=4, time_dim=8, attention=False, seed=0,
+        )
+    )
+    return DiscreteDiffusion(unet, DiscreteDiffusionConfig(num_steps=10))
+
+
+def tiny_canvases(n=8, size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    data = np.zeros((n, 1, size, size), dtype=np.uint8)
+    for i in range(n):
+        offset = int(rng.integers(2, size - 5))
+        data[i, 0, :, offset : offset + 3] = 1
+    return data
+
+
+class TestForwardProcess:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteDiffusionConfig(num_steps=1)
+        with pytest.raises(ValueError):
+            DiscreteDiffusionConfig(beta_start=0.5, beta_end=0.2)
+
+    def test_keep_prob_decreases_with_t(self):
+        diffusion = tiny_diffusion()
+        probs = diffusion.keep_prob(np.arange(10))
+        assert (np.diff(probs) < 0).all()
+        assert probs[0] > 0.9
+        assert probs[-1] > 0.5  # never worse than random
+
+    def test_q_sample_preserves_binaryness(self):
+        diffusion = tiny_diffusion()
+        x0 = tiny_canvases()
+        xt = diffusion.q_sample(x0, np.full(8, 5), np.random.default_rng(0))
+        assert set(np.unique(xt)).issubset({0, 1})
+
+    def test_q_sample_flip_rate_matches_schedule(self):
+        diffusion = tiny_diffusion()
+        x0 = np.zeros((200, 1, 16, 16), dtype=np.uint8)
+        t = np.full(200, 9)
+        xt = diffusion.q_sample(x0, t, np.random.default_rng(0))
+        flip_rate = xt.mean()
+        expected = 1.0 - diffusion.keep_prob(9)
+        assert flip_rate == pytest.approx(expected, abs=0.02)
+
+
+class TestTrainingAndSampling:
+    def test_loss_decreases(self):
+        diffusion = tiny_diffusion()
+        data = tiny_canvases(8)
+        losses = diffusion.fit(
+            data, steps=50, batch_size=8, lr=3e-3, rng=np.random.default_rng(0)
+        )
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_sample_shapes_and_binaryness(self):
+        diffusion = tiny_diffusion()
+        canvases = diffusion.sample(3, np.random.default_rng(0))
+        assert len(canvases) == 3
+        assert canvases[0].shape == (16, 16)
+        assert set(np.unique(np.stack(canvases))).issubset({0, 1})
+
+    def test_posterior_probabilities_valid(self):
+        diffusion = tiny_diffusion()
+        xt = (np.random.default_rng(0).random((2, 1, 16, 16)) < 0.5).astype(np.uint8)
+        p1 = np.full_like(xt, 0.7, dtype=np.float64)
+        out = diffusion._posterior_sample(xt, p1, 5, np.random.default_rng(0))
+        assert set(np.unique(out)).issubset({0, 1})
+
+
+class TestDiffPatternGenerator:
+    def test_generate_returns_only_clean_clips(self):
+        deck = basic_deck(GRID)
+        unet = TimeUnet(
+            UNetConfig(
+                image_size=32, base_channels=8, channel_mults=(1,),
+                num_res_blocks=1, groups=4, time_dim=8, attention=False, seed=1,
+            )
+        )
+        diffusion = DiscreteDiffusion(unet, DiscreteDiffusionConfig(num_steps=6))
+        generator = DiffPatternGenerator(
+            diffusion, deck, SolverSettings(max_iter=40, discrete_restarts=0)
+        )
+        legal, attempts, _ = generator.generate(3, np.random.default_rng(0))
+        assert attempts == 3
+        engine = deck.engine()
+        assert all(engine.is_clean(clip) for clip in legal)

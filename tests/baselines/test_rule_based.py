@@ -1,0 +1,108 @@
+"""Unit tests for the rule-based track generator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    TrackGeneratorConfig,
+    TrackPatternGenerator,
+    generate_library,
+    pretrain_node_config,
+    starter_set,
+)
+from repro.drc import advanced_deck
+from repro.geometry import Grid, density
+
+
+@pytest.fixture
+def deck():
+    return advanced_deck(Grid(nm_per_px=16.0, width_px=32, height_px=32))
+
+
+class TestGeneratorContract:
+    def test_all_output_is_clean(self, deck):
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        engine = deck.engine()
+        clips = generator.sample_many(20, np.random.default_rng(0))
+        assert all(engine.is_clean(c) for c in clips)
+
+    def test_deterministic_given_seed(self, deck):
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        a = generator.sample_many(5, np.random.default_rng(42))
+        b = generator.sample_many(5, np.random.default_rng(42))
+        for clip_a, clip_b in zip(a, b):
+            np.testing.assert_array_equal(clip_a, clip_b)
+
+    def test_output_shape_matches_grid(self, deck):
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        clip = generator.sample(np.random.default_rng(0))
+        assert clip.shape == (32, 32)
+        assert clip.dtype == np.uint8
+
+    def test_output_is_nonempty_with_reasonable_density(self, deck):
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        clips = generator.sample_many(20, np.random.default_rng(1))
+        densities = [density(c) for c in clips]
+        assert min(densities) > 0.05
+        assert max(densities) < 0.8
+
+    def test_variation_across_samples(self, deck):
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        clips = generator.sample_many(10, np.random.default_rng(2))
+        distinct = {c.tobytes() for c in clips}
+        assert len(distinct) >= 8
+
+    def test_narrow_grid_rejected(self):
+        tiny = advanced_deck(Grid(nm_per_px=16.0, width_px=8, height_px=32))
+        with pytest.raises(ValueError, match="too small"):
+            TrackPatternGenerator(TrackGeneratorConfig(deck=tiny))
+
+
+class TestConvenienceEntryPoints:
+    def test_generate_library_count(self, deck):
+        clips = generate_library(deck, 7, np.random.default_rng(0))
+        assert len(clips) == 7
+
+    def test_starter_set_default(self):
+        starters = starter_set(n=5, seed=1)
+        assert len(starters) == 5
+        assert starters[0].shape == (64, 64)
+
+    def test_starter_set_reproducible(self):
+        a = starter_set(n=3, seed=9)
+        b = starter_set(n=3, seed=9)
+        for clip_a, clip_b in zip(a, b):
+            np.testing.assert_array_equal(clip_a, clip_b)
+
+    def test_pretrain_node_differs_from_target(self):
+        node = pretrain_node_config()
+        target = advanced_deck()
+        assert node.track_pitch_px != target.track_pitch_px
+        assert set(node.allowed_widths_px) != set(target.allowed_widths_px)
+
+
+class TestConnectors:
+    def test_connectors_appear_with_high_probability_setting(self, deck):
+        from dataclasses import replace
+
+        config = TrackGeneratorConfig(deck=deck, p_connector=1.0, max_connectors=3)
+        generator = TrackPatternGenerator(config)
+        clips = generator.sample_many(20, np.random.default_rng(3))
+        # A connector merges two tracks: some clip must contain a horizontal
+        # run wider than the track pitch.
+        from repro.drc import run_table
+
+        has_wide = any(
+            (run_table(c, "h").lengths >= deck.track_pitch_px).any() for c in clips
+        )
+        assert has_wide
+
+    def test_no_connectors_when_disabled(self, deck):
+        config = TrackGeneratorConfig(deck=deck, p_connector=0.0)
+        generator = TrackPatternGenerator(config)
+        clips = generator.sample_many(10, np.random.default_rng(3))
+        from repro.drc import run_table
+
+        assert all(
+            (run_table(c, "h").lengths < deck.track_pitch_px).all() for c in clips
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for the nonlinear legalization solver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SolverSettings, SquishLegalizer
+from repro.baselines.rule_based import TrackGeneratorConfig, TrackPatternGenerator
+from repro.baselines.solver import DeckParams
+from repro.drc import advanced_deck, basic_deck, complex_deck
+from repro.geometry import Grid, squish
+
+GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+def topology_from_generator(deck, seed=0):
+    generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+    clip = generator.sample(np.random.default_rng(seed))
+    return squish(clip).topology
+
+
+class TestDeckParams:
+    def test_basic_deck_extraction(self):
+        p = DeckParams.from_deck(basic_deck(GRID))
+        assert p.min_w_h == 3
+        assert p.s_lo_h == 3
+        assert p.area_lo == 12
+        assert p.discrete_widths == ()
+
+    def test_advanced_deck_extraction(self):
+        p = DeckParams.from_deck(advanced_deck(GRID))
+        assert p.discrete_widths == (3, 5)
+        assert p.connector_min == 8
+        # The relaxation must keep the loosest window so no feasible
+        # geometry is cut off before the DRC validation step.
+        assert p.s_lo_h == 4
+        assert p.s_hi_h == 14
+
+    def test_complex_deck_has_spacing_caps(self):
+        p = DeckParams.from_deck(complex_deck(GRID))
+        assert np.isfinite(p.s_hi_h)
+        assert p.e2e_lo == 4
+
+
+class TestLegalization:
+    def test_legalizes_feasible_basic_topologies(self):
+        deck = basic_deck(GRID)
+        legalizer = SquishLegalizer(deck)
+        successes = 0
+        for seed in range(6):
+            topology = topology_from_generator(deck, seed)
+            result = legalizer.legalize(
+                topology, width_px=32, height_px=32, rng=np.random.default_rng(seed)
+            )
+            successes += result.success
+            if result.success:
+                assert deck.engine().is_clean(result.clip)
+        assert successes >= 3
+
+    def test_success_means_drc_clean(self):
+        deck = advanced_deck(GRID)
+        legalizer = SquishLegalizer(deck)
+        engine = deck.engine()
+        for seed in range(4):
+            topology = topology_from_generator(deck, seed)
+            result = legalizer.legalize(
+                topology, width_px=32, height_px=32, rng=np.random.default_rng(seed)
+            )
+            if result.success:
+                assert engine.is_clean(result.clip)
+
+    def test_empty_topology_rejected(self):
+        legalizer = SquishLegalizer(basic_deck(GRID))
+        result = legalizer.legalize(np.zeros((3, 3), dtype=bool))
+        assert not result.success
+        assert "empty" in result.message
+
+    def test_oversized_topology_rejected(self):
+        legalizer = SquishLegalizer(basic_deck(GRID))
+        topology = np.ones((40, 40), dtype=bool)
+        result = legalizer.legalize(topology, width_px=32, height_px=32)
+        assert not result.success
+        assert "cannot fit" in result.message
+
+    def test_runtime_is_recorded(self):
+        deck = basic_deck(GRID)
+        legalizer = SquishLegalizer(deck)
+        topology = topology_from_generator(deck, 0)
+        result = legalizer.legalize(topology, width_px=32, height_px=32)
+        assert result.runtime_s > 0
+
+    def test_discrete_restarts_help_on_advanced_deck(self):
+        deck = advanced_deck(GRID)
+        naive = SquishLegalizer(deck, SolverSettings(discrete_restarts=0))
+        improved = SquishLegalizer(deck, SolverSettings(discrete_restarts=4))
+        naive_ok = 0
+        improved_ok = 0
+        for seed in range(8):
+            topology = topology_from_generator(deck, seed)
+            rng_a = np.random.default_rng(seed)
+            rng_b = np.random.default_rng(seed)
+            naive_ok += naive.legalize(
+                topology, width_px=32, height_px=32, rng=rng_a
+            ).success
+            improved_ok += improved.legalize(
+                topology, width_px=32, height_px=32, rng=rng_b
+            ).success
+        assert improved_ok >= naive_ok
+
+
+class TestRounding:
+    def test_round_axis_repairs_total(self):
+        values = np.array([3.4, 3.4, 3.4, 3.4])
+        rounded = SquishLegalizer._round_axis(values, 14)
+        assert rounded.sum() == 14
+        assert (rounded >= 1).all()
+
+    def test_round_axis_impossible_total(self):
+        values = np.array([1.0, 1.0])
+        assert SquishLegalizer._round_axis(values, 1) is None
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            SolverSettings(max_iter=0)
+        with pytest.raises(ValueError):
+            SolverSettings(discrete_restarts=-1)

@@ -1,0 +1,98 @@
+"""Unit tests for the predefined mask sets and schedule (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MaskScheduler,
+    NamedMask,
+    all_masks,
+    default_mask_set,
+    horizontal_mask_set,
+    mask_area_fraction,
+)
+
+SHAPE = (32, 32)
+
+
+class TestMaskCatalogue:
+    def test_ten_masks_total(self):
+        assert len(all_masks(SHAPE)) == 10
+        assert len(default_mask_set(SHAPE)) == 6
+        assert len(horizontal_mask_set(SHAPE)) == 4
+
+    def test_all_masks_cover_about_a_quarter(self):
+        # The paper's inference scheme masks ~25% of the clip per call.
+        for named in all_masks(SHAPE):
+            assert 0.1 <= named.area_fraction <= 0.3, named.name
+
+    def test_mean_area_fraction(self):
+        assert mask_area_fraction(all_masks(SHAPE)) == pytest.approx(0.25, abs=0.05)
+        assert mask_area_fraction([]) == 0.0
+
+    def test_names_are_unique(self):
+        names = [m.name for m in all_masks(SHAPE)]
+        assert len(set(names)) == len(names)
+
+    def test_horizontal_bands_tile_the_clip(self):
+        union = np.zeros(SHAPE, dtype=int)
+        for named in horizontal_mask_set(SHAPE):
+            union += named.mask.astype(int)
+        np.testing.assert_array_equal(union, np.ones(SHAPE, dtype=int))
+
+    def test_quadrants_tile_the_clip(self):
+        union = np.zeros(SHAPE, dtype=int)
+        for named in default_mask_set(SHAPE)[:4]:
+            union += named.mask.astype(int)
+        np.testing.assert_array_equal(union, np.ones(SHAPE, dtype=int))
+
+    def test_masks_scale_with_shape(self):
+        for named in all_masks((16, 48)):
+            assert named.mask.shape == (16, 48)
+
+
+class TestNamedMaskValidation:
+    def test_rejects_empty_mask(self):
+        with pytest.raises(ValueError, match="no pixels"):
+            NamedMask("empty", np.zeros(SHAPE, dtype=bool))
+
+    def test_rejects_full_mask(self):
+        with pytest.raises(ValueError, match="whole clip"):
+            NamedMask("full", np.ones(SHAPE, dtype=bool))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            NamedMask("bad", np.zeros((2, 2, 2), dtype=bool))
+
+
+class TestScheduler:
+    def test_sequential_within_a_set(self):
+        scheduler = MaskScheduler(SHAPE)
+        names = [scheduler.next_mask("pattern-a").name for _ in range(6)]
+        default_names = [m.name for m in default_mask_set(SHAPE)]
+        assert names == default_names  # walks the set in declared order
+
+    def test_wraps_around(self):
+        scheduler = MaskScheduler(SHAPE, use_horizontal=False)
+        n = len(default_mask_set(SHAPE))
+        names = [scheduler.next_mask("k").name for _ in range(n + 1)]
+        assert names[0] == names[-1]
+
+    def test_new_keys_rotate_across_sets(self):
+        scheduler = MaskScheduler(SHAPE)
+        first = scheduler.next_mask("a").name
+        second = scheduler.next_mask("b").name
+        default_names = {m.name for m in default_mask_set(SHAPE)}
+        horizontal_names = {m.name for m in horizontal_mask_set(SHAPE)}
+        assert first in default_names
+        assert second in horizontal_names
+
+    def test_peek_does_not_advance(self):
+        scheduler = MaskScheduler(SHAPE)
+        peeked = scheduler.peek_mask("x").name
+        taken = scheduler.next_mask("x").name
+        assert peeked == taken
+
+    def test_mask_count(self):
+        assert MaskScheduler(SHAPE).mask_count == 10
+        assert MaskScheduler(SHAPE, use_horizontal=False).mask_count == 6

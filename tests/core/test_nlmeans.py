@@ -1,0 +1,64 @@
+"""Unit tests for the NL-means comparison denoiser."""
+
+import numpy as np
+import pytest
+
+from repro.core import NlMeansConfig, nl_means_denoise, nl_means_filter
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NlMeansConfig(patch_size=4)  # even
+        with pytest.raises(ValueError):
+            NlMeansConfig(patch_size=-1)
+        with pytest.raises(ValueError):
+            NlMeansConfig(search_radius=0)
+        with pytest.raises(ValueError):
+            NlMeansConfig(strength=0.0)
+
+
+class TestFilter:
+    def test_constant_image_is_fixed_point(self):
+        img = np.full((16, 16), 0.7)
+        out = nl_means_filter(img)
+        np.testing.assert_allclose(out, img, atol=1e-10)
+
+    def test_output_within_input_range(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((16, 16))
+        out = nl_means_filter(img)
+        assert out.min() >= img.min() - 1e-9
+        assert out.max() <= img.max() + 1e-9
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            nl_means_filter(np.zeros((2, 2, 2)))
+
+
+class TestDenoise:
+    def test_removes_salt_and_pepper_from_solid_regions(self):
+        clean = np.zeros((24, 24), dtype=np.uint8)
+        clean[:, 8:16] = 1
+        rng = np.random.default_rng(1)
+        noisy = clean.copy()
+        # Sparse isolated flips well inside solid regions.
+        for _ in range(6):
+            y = int(rng.integers(2, 22))
+            noisy[y, int(rng.integers(10, 14))] ^= 1
+            noisy[y, int(rng.integers(1, 5))] ^= 1
+        out = nl_means_denoise(noisy)
+        assert (out != clean).mean() < (noisy != clean).mean()
+
+    def test_template_argument_is_ignored(self):
+        noisy = np.zeros((16, 16), dtype=np.uint8)
+        noisy[:, 5:9] = 1
+        a = nl_means_denoise(noisy, None)
+        b = nl_means_denoise(noisy, np.ones_like(noisy))
+        np.testing.assert_array_equal(a, b)
+
+    def test_output_is_binary_uint8(self):
+        noisy = (np.random.default_rng(0).random((16, 16)) < 0.4).astype(np.uint8)
+        out = nl_means_denoise(noisy)
+        assert out.dtype == np.uint8
+        assert set(np.unique(out)).issubset({0, 1})

@@ -1,0 +1,118 @@
+"""Unit tests for PCA-based representative selection (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import density_constraint, fit_pca, select_representative
+
+
+def wire_clip(offset, width=3, size=16):
+    img = np.zeros((size, size), dtype=np.uint8)
+    img[:, offset : offset + width] = 1
+    return img
+
+
+class TestPca:
+    def test_explained_variance_target_met(self):
+        rng = np.random.default_rng(0)
+        flat = rng.normal(size=(50, 20))
+        reduction = fit_pca(flat, explained_variance=0.9)
+        assert reduction.explained_ratio >= 0.9
+
+    def test_low_rank_data_needs_few_components(self):
+        rng = np.random.default_rng(1)
+        basis = rng.normal(size=(2, 30))
+        coefficients = rng.normal(size=(40, 2))
+        flat = coefficients @ basis
+        reduction = fit_pca(flat, explained_variance=0.99)
+        assert reduction.num_components <= 2
+
+    def test_degenerate_identical_rows(self):
+        flat = np.ones((10, 5))
+        reduction = fit_pca(flat)
+        assert reduction.num_components == 1
+        assert reduction.explained_ratio == 1.0
+
+    def test_transform_shape(self):
+        rng = np.random.default_rng(2)
+        flat = rng.normal(size=(20, 12))
+        reduction = fit_pca(flat, 0.8)
+        assert reduction.transform(flat).shape == (20, reduction.num_components)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_pca(np.zeros((4,)))
+        with pytest.raises(ValueError):
+            fit_pca(np.zeros((4, 4)), explained_variance=0.0)
+
+
+class TestDensityConstraint:
+    def test_threshold(self):
+        constraint = density_constraint(0.4)
+        sparse = np.zeros((10, 10), dtype=np.uint8)
+        sparse[0, 0] = 1
+        dense = np.ones((10, 10), dtype=np.uint8)
+        assert constraint(sparse)
+        assert not constraint(dense)
+
+
+class TestSelection:
+    def make_clips(self):
+        return [wire_clip(offset) for offset in range(1, 12)]
+
+    def test_selects_k_distinct_indices(self):
+        clips = self.make_clips()
+        selected = select_representative(clips, 4, np.random.default_rng(0))
+        assert len(selected) == 4
+        assert len(set(selected)) == 4
+
+    def test_small_library_returns_everything_eligible(self):
+        clips = self.make_clips()[:3]
+        selected = select_representative(clips, 10, np.random.default_rng(0))
+        assert sorted(selected) == [0, 1, 2]
+
+    def test_constraint_filters_candidates(self):
+        clips = self.make_clips() + [np.ones((16, 16), dtype=np.uint8)]
+        dense_index = len(clips) - 1
+        selected = select_representative(
+            clips, 5, np.random.default_rng(0),
+            constraint=density_constraint(0.4),
+        )
+        assert dense_index not in selected
+
+    def test_no_eligible_candidates(self):
+        clips = [np.ones((8, 8), dtype=np.uint8)] * 3
+        selected = select_representative(
+            clips, 2, np.random.default_rng(0),
+            constraint=density_constraint(0.1),
+        )
+        assert selected == []
+
+    def test_deterministic_given_rng(self):
+        clips = self.make_clips()
+        a = select_representative(clips, 5, np.random.default_rng(3))
+        b = select_representative(clips, 5, np.random.default_rng(3))
+        assert a == b
+
+    def test_farthest_point_prefers_spread(self):
+        # Clips with 1, 2 and 12 filled rows: the pair (1-row, 2-row) is the
+        # only close pair, so farthest-point selection of 2 must avoid it
+        # regardless of which seed the rng draws first.
+        def rows(k, size=16):
+            img = np.zeros((size, size), dtype=np.uint8)
+            img[:k] = 1
+            return img
+
+        clips = [rows(1), rows(2), rows(12)]
+        for seed in range(6):
+            selected = set(
+                select_representative(clips, 2, np.random.default_rng(seed))
+            )
+            assert selected != {0, 1}
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            select_representative([wire_clip(1)], 0, np.random.default_rng(0))
+
+    def test_empty_library(self):
+        assert select_representative([], 3, np.random.default_rng(0)) == []

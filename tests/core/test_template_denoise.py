@@ -1,0 +1,150 @@
+"""Unit + property tests for template-based denoising (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TemplateDenoiseConfig, cluster_lines, snap_lines, template_denoise
+from repro.baselines.rule_based import TrackGeneratorConfig, TrackPatternGenerator
+from repro.drc import advanced_deck
+from repro.geometry import Grid
+
+GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+def clean_clip(seed=0):
+    deck = advanced_deck(GRID)
+    generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+    return generator.sample(np.random.default_rng(seed))
+
+
+def add_edge_jitter(clip, rng, p=0.35):
+    """Simulate inpainting edge noise: flip pixels adjacent to edges."""
+    noisy = clip.astype(np.int16).copy()
+    edges_h = np.zeros_like(clip, dtype=bool)
+    edges_h[:, 1:] |= clip[:, 1:] != clip[:, :-1]
+    edges_v = np.zeros_like(clip, dtype=bool)
+    edges_v[1:, :] |= clip[1:, :] != clip[:-1, :]
+    jitter = (edges_h | edges_v) & (rng.random(clip.shape) < p)
+    noisy[jitter] = 1 - noisy[jitter]
+    return noisy.astype(np.uint8)
+
+
+class TestClusterLines:
+    def test_groups_nearby_lines(self):
+        clusters = cluster_lines(np.array([0, 1, 2, 10, 11, 30]), threshold=2)
+        assert [list(c) for c in clusters] == [[0, 1, 2], [10, 11], [30]]
+
+    def test_singletons_preserved(self):
+        clusters = cluster_lines(np.array([5]), threshold=2)
+        assert [list(c) for c in clusters] == [[5]]
+
+    def test_empty_input_yields_no_clusters(self):
+        assert cluster_lines(np.array([], dtype=np.int64), 2) == []
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=30),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cluster_diameter_bounded(self, lines, threshold):
+        clusters = cluster_lines(np.array(lines), threshold)
+        total = sum(c.size for c in clusters)
+        assert total == len(lines)
+        for cluster in clusters:
+            assert cluster.max() - cluster.min() <= threshold
+
+
+class TestSnapLines:
+    def test_snaps_to_nearby_template_line(self):
+        out = snap_lines(
+            np.array([0, 9, 11, 32]),  # jittery cluster around 10
+            np.array([0, 10, 32]),
+            extent=32,
+            threshold=2,
+            rng=None,
+        )
+        assert 10 in out
+        assert 9 not in out and 11 not in out
+
+    def test_keeps_novel_lines_far_from_template(self):
+        out = snap_lines(
+            np.array([0, 20, 32]),
+            np.array([0, 5, 32]),
+            extent=32,
+            threshold=2,
+            rng=np.random.default_rng(0),
+        )
+        assert 20 in out
+
+    def test_borders_always_present(self):
+        out = snap_lines(
+            np.array([15]), np.array([0, 32]), extent=32, threshold=2, rng=None
+        )
+        assert out[0] == 0 and out[-1] == 32
+
+    def test_output_strictly_increasing(self):
+        rng = np.random.default_rng(1)
+        lines = np.sort(rng.integers(0, 33, size=20))
+        out = snap_lines(lines, np.array([0, 8, 16, 32]), 32, 2, rng)
+        assert (np.diff(out) > 0).all()
+
+
+class TestTemplateDenoise:
+    def test_clean_input_is_fixed_point(self):
+        clip = clean_clip(0)
+        denoised = template_denoise(clip, clip)
+        np.testing.assert_array_equal(denoised, clip)
+
+    def test_recovers_clean_clip_from_edge_jitter(self):
+        clip = clean_clip(1)
+        rng = np.random.default_rng(2)
+        noisy = add_edge_jitter(clip, rng)
+        denoised = template_denoise(noisy, clip)
+        # Denoising against the generating template should recover it
+        # (nearly) exactly: all jitter sits within the snap threshold.
+        assert (denoised != clip).mean() < 0.02
+
+    def test_restores_legality_of_jittered_clips(self):
+        engine = advanced_deck(GRID).engine()
+        restored = 0
+        for seed in range(5):
+            clip = clean_clip(seed)
+            noisy = add_edge_jitter(clip, np.random.default_rng(100 + seed))
+            if engine.is_clean(noisy):
+                continue  # jitter happened to stay legal; not informative
+            denoised = template_denoise(noisy, clip)
+            restored += engine.is_clean(denoised)
+        assert restored >= 3
+
+    def test_float_model_output_accepted(self):
+        clip = clean_clip(3)
+        as_float = clip.astype(np.float32) * 2 - 1  # model space
+        denoised = template_denoise(as_float, clip)
+        np.testing.assert_array_equal(denoised, clip)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            template_denoise(np.zeros((8, 8)), np.zeros((16, 16)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TemplateDenoiseConfig(threshold_px=0)
+        with pytest.raises(ValueError):
+            TemplateDenoiseConfig(vote_threshold=1.5)
+
+    def test_deterministic_by_default(self):
+        clip = clean_clip(4)
+        noisy = add_edge_jitter(clip, np.random.default_rng(5))
+        a = template_denoise(noisy, clip)
+        b = template_denoise(noisy, clip)
+        np.testing.assert_array_equal(a, b)
+
+    def test_median_fallback_mode(self):
+        clip = clean_clip(6)
+        noisy = add_edge_jitter(clip, np.random.default_rng(7))
+        config = TemplateDenoiseConfig(random_fallback=False)
+        a = template_denoise(noisy, clip, config)
+        b = template_denoise(noisy, clip, config)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,87 @@
+"""Unit tests for few-shot finetuning with prior preservation."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    Ddpm,
+    FinetuneConfig,
+    clone_ddpm,
+    finetune,
+    generate_prior_set,
+    linear_schedule,
+)
+from repro.nn import TimeUnet, UNetConfig
+
+
+def tiny_ddpm(seed=0):
+    cfg = UNetConfig(
+        image_size=8, base_channels=8, channel_mults=(1,), num_res_blocks=1,
+        groups=4, time_dim=8, attention=False, seed=seed,
+    )
+    return Ddpm(TimeUnet(cfg), linear_schedule(20))
+
+
+def starters(n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(rng.random((8, 8)) < 0.4).astype(np.uint8) for _ in range(n)]
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        base = tiny_ddpm()
+        copy = clone_ddpm(base)
+        copy.model.parameters()[0].data += 1.0
+        assert not np.allclose(
+            base.model.parameters()[0].data, copy.model.parameters()[0].data
+        )
+
+    def test_clone_matches_initially(self):
+        base = tiny_ddpm()
+        copy = clone_ddpm(base)
+        for a, b in zip(base.model.parameters(), copy.model.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestPriorSet:
+    def test_shape_and_range(self):
+        prior = generate_prior_set(
+            tiny_ddpm(), 5, np.random.default_rng(0), sample_steps=4, batch_size=2
+        )
+        assert prior.shape == (5, 1, 8, 8)
+        assert prior.min() >= -1.0 and prior.max() <= 1.0
+
+
+class TestFinetune:
+    def test_returns_new_model_and_keeps_base_frozen(self):
+        base = tiny_ddpm()
+        frozen = [p.data.copy() for p in base.model.parameters()]
+        cfg = FinetuneConfig(
+            steps=5, batch_size=2, lr=1e-3, num_prior_samples=2, prior_sample_steps=3
+        )
+        tuned, result = finetune(base, starters(), np.random.default_rng(0), cfg)
+        assert result.steps == 5
+        assert tuned is not base
+        for before, p in zip(frozen, base.model.parameters()):
+            np.testing.assert_array_equal(before, p.data)
+        changed = any(
+            not np.allclose(a.data, b.data)
+            for a, b in zip(base.model.parameters(), tuned.model.parameters())
+        )
+        assert changed
+
+    def test_rejects_empty_starters(self):
+        with pytest.raises(ValueError):
+            finetune(tiny_ddpm(), [], np.random.default_rng(0))
+
+    def test_rejects_wrong_starter_size(self):
+        bad = [np.zeros((16, 16), dtype=np.uint8)]
+        with pytest.raises(ValueError, match="model expects"):
+            finetune(tiny_ddpm(), bad, np.random.default_rng(0))
+
+    def test_prior_free_finetune(self):
+        cfg = FinetuneConfig(steps=3, batch_size=2, lr=1e-3, prior_weight=0.0)
+        tuned, result = finetune(
+            tiny_ddpm(), starters(), np.random.default_rng(0), cfg
+        )
+        assert result.steps == 3

@@ -1,0 +1,56 @@
+"""Property-based tests for diffusion invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion import InpaintConfig, inpaint, linear_schedule, strided_timesteps
+
+
+class ZeroModel:
+    def forward(self, x, t):
+        return np.zeros_like(x)
+
+
+class TestScheduleProperties:
+    @given(st.integers(2, 500), st.integers(1, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_strided_timesteps_bounds(self, train_steps, sample_steps):
+        sample_steps = min(sample_steps, train_steps)
+        ts = strided_timesteps(train_steps, sample_steps)
+        assert ts[0] == train_steps - 1
+        assert ts[-1] == 0 or ts.size == 1
+        assert (ts >= 0).all() and (ts < train_steps).all()
+        assert (np.diff(ts) < 0).all() or ts.size == 1
+
+    @given(st.integers(2, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_snr_is_monotone_decreasing(self, steps):
+        schedule = linear_schedule(steps)
+        snr = schedule.alpha_bars / (1.0 - schedule.alpha_bars)
+        assert (np.diff(snr) < 0).all()
+
+
+class TestInpaintProperties:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.integers(1, 3),
+        st.integers(2, 8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_unmasked_always_preserved(self, seed, batch, steps):
+        rng = np.random.default_rng(seed)
+        known = (rng.random((batch, 1, 8, 8)) < 0.5).astype(np.float32) * 2 - 1
+        mask = rng.random((8, 8)) < 0.5
+        if mask.all():
+            mask[0, 0] = False
+        if not mask.any():
+            mask[0, 0] = True
+        out = inpaint(
+            ZeroModel(), linear_schedule(30), known, mask,
+            np.random.default_rng(seed + 1),
+            InpaintConfig(num_steps=steps),
+        )
+        np.testing.assert_array_equal(out[:, :, ~mask], known[:, :, ~mask])
+        assert np.isfinite(out).all()
+        assert np.abs(out).max() <= 3.0  # stays in a sane numeric range

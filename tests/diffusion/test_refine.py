@@ -1,0 +1,66 @@
+"""Unit tests for second-stage self-refinement (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    Ddpm,
+    FinetuneConfig,
+    linear_schedule,
+    self_refine,
+)
+from repro.nn import TimeUnet, UNetConfig
+
+
+def tiny_ddpm(seed=0):
+    cfg = UNetConfig(
+        image_size=8, base_channels=8, channel_mults=(1,), num_res_blocks=1,
+        groups=4, time_dim=8, attention=False, seed=seed,
+    )
+    return Ddpm(TimeUnet(cfg), linear_schedule(20))
+
+
+def library(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    clips = []
+    for _ in range(n):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        offset = int(rng.integers(0, 5))
+        img[:, offset : offset + 3] = 1
+        clips.append(img)
+    return clips
+
+
+class TestSelfRefine:
+    def test_returns_new_trained_model(self):
+        base = tiny_ddpm()
+        frozen = [p.data.copy() for p in base.model.parameters()]
+        cfg = FinetuneConfig(
+            steps=4, batch_size=2, lr=1e-3, num_prior_samples=2,
+            prior_sample_steps=3, prior_weight=0.3,
+        )
+        refined, result = self_refine(
+            base, library(), np.random.default_rng(0), cfg
+        )
+        assert result.steps == 4
+        for before, p in zip(frozen, base.model.parameters()):
+            np.testing.assert_array_equal(before, p.data)
+        assert any(
+            not np.allclose(a.data, b.data)
+            for a, b in zip(base.model.parameters(), refined.model.parameters())
+        )
+
+    def test_rejects_empty_library(self):
+        with pytest.raises(ValueError):
+            self_refine(tiny_ddpm(), [], np.random.default_rng(0))
+
+    def test_default_config_is_light_prior(self):
+        # Smoke: default config path works end to end on a tiny model.
+        refined, result = self_refine(
+            tiny_ddpm(),
+            library(),
+            np.random.default_rng(1),
+            FinetuneConfig(steps=2, batch_size=2, lr=1e-3,
+                           num_prior_samples=2, prior_sample_steps=2),
+        )
+        assert result.steps == 2

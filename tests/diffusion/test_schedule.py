@@ -1,0 +1,85 @@
+"""Unit + property tests for noise schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion import NoiseSchedule, cosine_schedule, linear_schedule
+
+
+class TestScheduleConstruction:
+    def test_linear_endpoints_scale_with_step_count(self):
+        short = linear_schedule(100)
+        long = linear_schedule(1000)
+        assert short.betas[0] == pytest.approx(long.betas[0] * 10, rel=1e-6)
+
+    def test_betas_in_open_unit_interval(self):
+        for schedule in (linear_schedule(50), cosine_schedule(50)):
+            assert schedule.betas.min() > 0
+            assert schedule.betas.max() < 1
+
+    def test_rejects_too_few_steps(self):
+        with pytest.raises(ValueError):
+            linear_schedule(1)
+        with pytest.raises(ValueError):
+            cosine_schedule(0)
+
+    def test_rejects_out_of_range_betas(self):
+        with pytest.raises(ValueError):
+            NoiseSchedule(betas=np.array([0.1, 1.5]))
+        with pytest.raises(ValueError):
+            NoiseSchedule(betas=np.array([0.0, 0.1]))
+
+
+class TestDerivedQuantities:
+    @pytest.mark.parametrize("make", [linear_schedule, cosine_schedule])
+    def test_alpha_bars_monotone_decreasing(self, make):
+        schedule = make(100)
+        assert (np.diff(schedule.alpha_bars) < 0).all()
+        assert schedule.alpha_bars[0] == pytest.approx(1 - schedule.betas[0])
+
+    def test_alpha_bar_prev_shifts(self):
+        schedule = linear_schedule(10)
+        assert schedule.alpha_bars_prev[0] == 1.0
+        np.testing.assert_allclose(
+            schedule.alpha_bars_prev[1:], schedule.alpha_bars[:-1]
+        )
+
+    def test_terminal_snr_is_low(self):
+        schedule = linear_schedule(250)
+        assert schedule.alpha_bars[-1] < 0.05  # mostly noise at t = T-1
+
+    def test_posterior_variance_positive(self):
+        schedule = cosine_schedule(100)
+        assert (schedule.posterior_variance[1:] > 0).all()
+
+
+class TestQSample:
+    def test_exact_reconstruction_via_predict_x0(self):
+        schedule = linear_schedule(50)
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(size=(4, 1, 8, 8)).astype(np.float32).clip(-1, 1)
+        t = np.array([0, 10, 25, 49])
+        noise = rng.standard_normal(x0.shape).astype(np.float32)
+        xt = schedule.q_sample(x0, t, noise)
+        recovered = schedule.predict_x0(xt, t, noise)
+        np.testing.assert_allclose(recovered, x0, atol=1e-4)
+
+    @given(st.integers(0, 49))
+    @settings(max_examples=20, deadline=None)
+    def test_q_sample_variance_matches_schedule(self, t):
+        schedule = linear_schedule(50)
+        rng = np.random.default_rng(1)
+        x0 = np.zeros((2000, 1, 2, 2), dtype=np.float32)
+        noise = rng.standard_normal(x0.shape).astype(np.float32)
+        xt = schedule.q_sample(x0, np.full(2000, t), noise)
+        expected_std = np.sqrt(1 - schedule.alpha_bars[t])
+        assert xt.std() == pytest.approx(expected_std, rel=0.05)
+
+    def test_predict_x0_clips_to_unit_range(self):
+        schedule = linear_schedule(50)
+        xt = np.full((1, 1, 2, 2), 10.0, dtype=np.float32)
+        eps = np.zeros_like(xt)
+        out = schedule.predict_x0(xt, np.array([40]), eps)
+        assert out.max() <= 1.0

@@ -1,0 +1,102 @@
+"""Unit tests for the rule decks + cross-validation with the generator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rule_based import (
+    TrackGeneratorConfig,
+    TrackPatternGenerator,
+    pretrain_node_config,
+)
+from repro.drc import advanced_deck, basic_deck, complex_deck, deck_by_name
+from repro.geometry import Grid
+
+
+class TestDeckProperties:
+    def test_deck_by_name(self):
+        assert deck_by_name("basic").name == "basic"
+        assert deck_by_name("complex").name == "complex"
+        assert deck_by_name("advanced").name == "advanced"
+
+    def test_unknown_deck_rejected(self):
+        with pytest.raises(ValueError, match="unknown deck"):
+            deck_by_name("intel18a")
+
+    def test_advanced_deck_has_discrete_widths(self):
+        assert advanced_deck().has_discrete_widths
+        assert not basic_deck().has_discrete_widths
+        assert not complex_deck().has_discrete_widths
+
+    def test_spacing_upper_bounds_flag(self):
+        assert advanced_deck().has_spacing_upper_bounds
+        assert complex_deck().has_spacing_upper_bounds
+        assert not basic_deck().has_spacing_upper_bounds
+
+    def test_width_and_spacing_summaries(self):
+        deck = advanced_deck()
+        assert deck.min_width_px == 3
+        assert deck.max_width_px == 5
+        assert deck.min_spacing_px == 4
+        assert deck.max_spacing_px == 14
+
+    def test_engine_builds(self):
+        for deck in (basic_deck(), complex_deck(), advanced_deck()):
+            engine = deck.engine()
+            assert engine.name == deck.name
+
+
+class TestAdvancedDeckSemantics:
+    """The discrete/width-dependent behaviours Figure 3 illustrates."""
+
+    @pytest.fixture
+    def engine(self):
+        return advanced_deck(Grid(nm_per_px=16.0, width_px=32, height_px=32)).engine()
+
+    @staticmethod
+    def tracks(widths, height=32, width=32, pitch=8):
+        img = np.zeros((height, width), dtype=np.uint8)
+        for k, w in enumerate(widths):
+            if w is None:
+                continue
+            center = pitch // 2 + k * pitch
+            x0 = center - w // 2
+            img[:, x0 : x0 + w] = 1
+        return img
+
+    def test_full_tracks_with_legal_widths_pass(self, engine):
+        assert engine.is_clean(self.tracks([3, 3, 5, 3]))
+
+    def test_adjacent_5_5_tracks_fail(self, engine):
+        report = engine.check(self.tracks([3, 5, 5, 3]))
+        assert any(v.rule == "Mx.S.WDEP.H" for v in report.violations)
+
+    def test_width_4_track_fails_discrete_rule(self, engine):
+        report = engine.check(self.tracks([3, 4, 3, 3]))
+        assert any(v.rule == "Mx.W.DISCRETE.H" for v in report.violations)
+
+    def test_single_skipped_track_is_legal(self, engine):
+        assert engine.is_clean(self.tracks([3, None, 3, 3]))
+
+    def test_two_skipped_tracks_violate_max_spacing(self, engine):
+        report = engine.check(self.tracks([3, None, None, 3]))
+        assert any(v.rule == "Mx.S.WDEP.H" for v in report.violations)
+
+    def test_empty_clip_fails_nonempty(self, engine):
+        report = engine.check(np.zeros((32, 32), dtype=np.uint8))
+        assert any(v.rule == "Mx.NONEMPTY" for v in report.violations)
+
+
+class TestGeneratorDeckCrossValidation:
+    """Everything the generator emits must pass its own deck's DRC."""
+
+    @pytest.mark.parametrize(
+        "make_deck", [basic_deck, complex_deck, advanced_deck, pretrain_node_config]
+    )
+    def test_generator_output_is_clean(self, make_deck):
+        grid = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+        deck = make_deck(grid)
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        engine = deck.engine()
+        rng = np.random.default_rng(5)
+        clips = generator.sample_many(15, rng)
+        assert all(engine.is_clean(clip) for clip in clips)

@@ -1,0 +1,88 @@
+"""Unit tests for the DRC engine."""
+
+import numpy as np
+import pytest
+
+from repro.drc import DrcEngine, MinSpacingRule, MinWidthRule, NonEmptyRule
+
+
+def wire(width, gap=None, height=8):
+    if gap is None:
+        img = np.zeros((height, width + 4), dtype=np.uint8)
+        img[:, 2 : 2 + width] = 1
+        return img
+    img = np.zeros((height, 2 * width + gap + 4), dtype=np.uint8)
+    img[:, 2 : 2 + width] = 1
+    img[:, 2 + width + gap : 2 + 2 * width + gap] = 1
+    return img
+
+
+@pytest.fixture
+def engine():
+    return DrcEngine(
+        name="test",
+        rules=(NonEmptyRule(), MinWidthRule("h", 3), MinSpacingRule("h", 3)),
+    )
+
+
+class TestEngineBasics:
+    def test_requires_rules(self):
+        with pytest.raises(ValueError):
+            DrcEngine(name="empty", rules=())
+
+    def test_clean_clip(self, engine):
+        report = engine.check(wire(3))
+        assert report.is_clean
+        assert report.count == 0
+        assert engine.is_clean(wire(3))
+
+    def test_violating_clip(self, engine):
+        report = engine.check(wire(2))
+        assert not report.is_clean
+        assert report.count == 8
+        assert not engine.is_clean(wire(2))
+
+    def test_check_and_is_clean_agree(self, engine):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            img = (rng.random((8, 12)) < 0.45).astype(np.uint8)
+            assert engine.is_clean(img) == engine.check(img).is_clean
+
+    def test_first_violation(self, engine):
+        assert engine.first_violation(wire(3)) is None
+        violation = engine.first_violation(np.zeros((4, 4)))
+        assert violation is not None
+        assert violation.rule == "Mx.NONEMPTY"
+
+    def test_rule_order_respected_in_first_violation(self, engine):
+        violation = engine.first_violation(wire(2, gap=2))
+        assert violation.rule == "Mx.W.MIN.H"  # width rule precedes spacing
+
+
+class TestBatchHelpers:
+    def test_legal_mask(self, engine):
+        mask = engine.legal_mask([wire(3), wire(2), wire(4)])
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_filter_clean_preserves_order(self, engine):
+        clips = [wire(3), wire(2), wire(5)]
+        clean = engine.filter_clean(clips)
+        assert len(clean) == 2
+        np.testing.assert_array_equal(clean[0], wire(3))
+        np.testing.assert_array_equal(clean[1], wire(5))
+
+    def test_legality_rate(self, engine):
+        assert engine.legality_rate([wire(3), wire(2)]) == 0.5
+        assert engine.legality_rate([]) == 0.0
+
+
+class TestReport:
+    def test_counts_by_rule(self, engine):
+        report = engine.check(wire(2, gap=2))
+        counts = report.counts_by_rule()
+        assert counts["Mx.W.MIN.H"] == 16  # two wires x 8 rows
+        assert counts["Mx.S.MIN.H"] == 8
+
+    def test_summary_strings(self, engine):
+        assert "CLEAN" in engine.check(wire(3)).summary()
+        assert "Mx.W.MIN.H" in engine.check(wire(2)).summary()

@@ -1,0 +1,113 @@
+"""Unit + property tests for the vectorized measurement kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.drc import ClipMeasurements, gap_table, run_table
+from repro.geometry import gaps_in_line, runs_in_line
+
+
+@st.composite
+def clips(draw, max_side=14):
+    h = draw(st.integers(1, max_side))
+    w = draw(st.integers(1, max_side))
+    return draw(
+        hnp.arrays(dtype=np.uint8, shape=(h, w), elements=st.integers(0, 1))
+    )
+
+
+class TestRunTable:
+    @given(clips())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_per_line_extraction_h(self, img):
+        table = run_table(img, "h")
+        expected = []
+        for y in range(img.shape[0]):
+            expected.extend((y, a, b) for a, b in runs_in_line(img[y]))
+        got = list(zip(table.lines, table.starts, table.stops))
+        assert [(int(a), int(b), int(c)) for a, b, c in got] == expected
+
+    @given(clips())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_per_line_extraction_v(self, img):
+        table = run_table(img, "v")
+        expected = []
+        for x in range(img.shape[1]):
+            expected.extend((x, a, b) for a, b in runs_in_line(img[:, x]))
+        got = [(int(a), int(b), int(c)) for a, b, c in
+               zip(table.lines, table.starts, table.stops)]
+        assert got == expected
+
+    def test_lengths_and_anchor(self):
+        img = np.array([[1, 1, 0, 1]], dtype=np.uint8)
+        table = run_table(img, "h")
+        np.testing.assert_array_equal(table.lengths, [2, 1])
+        assert table.anchor(0) == (0, 0)
+        assert table.anchor(1) == (0, 3)
+
+    def test_vertical_anchor_is_yx(self):
+        img = np.zeros((4, 4), dtype=np.uint8)
+        img[1:3, 2] = 1
+        table = run_table(img, "v")
+        assert table.anchor(0) == (1, 2)
+
+    def test_invalid_axis(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_table(np.zeros((2, 2)), "d")
+
+
+class TestGapTable:
+    @given(clips())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_per_line_gaps(self, img):
+        table = gap_table(img, "h")
+        expected = []
+        for y in range(img.shape[0]):
+            expected.extend((y, a, b) for a, b in gaps_in_line(img[y]))
+        got = [(int(a), int(b), int(c)) for a, b, c in
+               zip(table.lines, table.starts, table.stops)]
+        assert got == expected
+
+    def test_flanking_widths(self):
+        img = np.array([[1, 1, 1, 0, 0, 1]], dtype=np.uint8)
+        table = gap_table(img, "h")
+        assert len(table) == 1
+        assert int(table.left_lengths[0]) == 3
+        assert int(table.right_lengths[0]) == 1
+        assert int(table.lengths[0]) == 2
+
+    def test_no_gaps_in_single_run(self):
+        assert len(gap_table(np.array([[0, 1, 1, 0]]), "h")) == 0
+
+    def test_empty_clip(self):
+        assert len(gap_table(np.zeros((3, 3)), "h")) == 0
+
+
+class TestClipMeasurements:
+    def test_caches_are_consistent_views(self):
+        rng = np.random.default_rng(1)
+        img = (rng.random((8, 8)) < 0.4).astype(np.uint8)
+        m = ClipMeasurements(img)
+        assert m.runs("h") is m.h_runs
+        assert m.gaps("v") is m.v_gaps
+        assert m.shape == (8, 8)
+
+    def test_is_empty(self):
+        assert ClipMeasurements(np.zeros((4, 4))).is_empty
+        assert not ClipMeasurements(np.ones((4, 4))).is_empty
+
+    def test_rejects_empty_array(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ClipMeasurements(np.zeros((0, 4)))
+
+    def test_areas(self):
+        img = np.zeros((6, 6), dtype=np.uint8)
+        img[0:3, 0:2] = 1
+        m = ClipMeasurements(img)
+        np.testing.assert_array_equal(m.areas, [6])

@@ -1,0 +1,102 @@
+"""Property-based tests over the DRC engine and rule decks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rule_based import TrackGeneratorConfig, TrackPatternGenerator
+from repro.drc import ClipMeasurements, advanced_deck, basic_deck
+from repro.geometry import Grid, flip_vertical
+
+GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+@pytest.fixture(scope="module")
+def clean_clips():
+    deck = advanced_deck(GRID)
+    generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+    return generator.sample_many(10, np.random.default_rng(0))
+
+
+class TestEngineInvariants:
+    @given(st.integers(0, 9), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_single_pixel_mutations_never_crash(self, clip_idx, seed):
+        """DRC must stay total under arbitrary single-pixel mutations."""
+        deck = advanced_deck(GRID)
+        engine = deck.engine()
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        clip = generator.sample(np.random.default_rng(clip_idx)).copy()
+        rng = np.random.default_rng(seed)
+        y = int(rng.integers(clip.shape[0]))
+        x = int(rng.integers(clip.shape[1]))
+        clip[y, x] ^= 1
+        report = engine.check(clip)
+        assert report.is_clean == engine.is_clean(clip)
+
+    def test_vertical_flip_preserves_legality(self, clean_clips):
+        """The advanced deck has no vertical asymmetry: flips stay legal."""
+        engine = advanced_deck(GRID).engine()
+        for clip in clean_clips:
+            assert engine.is_clean(flip_vertical(clip))
+
+    def test_clean_clips_have_no_first_violation(self, clean_clips):
+        engine = advanced_deck(GRID).engine()
+        for clip in clean_clips:
+            assert engine.first_violation(clip) is None
+
+    def test_violation_anchors_inside_clip(self, clean_clips):
+        """Anchor coordinates of any violation must be valid pixels."""
+        engine = advanced_deck(GRID).engine()
+        rng = np.random.default_rng(1)
+        for clip in clean_clips[:5]:
+            mutated = clip.copy()
+            # Carve a 1px notch to provoke violations.
+            ys, xs = np.nonzero(mutated)
+            pick = int(rng.integers(len(ys)))
+            mutated[ys[pick], xs[pick]] = 0
+            for violation in engine.check(mutated).violations:
+                y, x = violation.location
+                assert 0 <= y < clip.shape[0]
+                assert 0 <= x < clip.shape[1]
+
+
+class TestMeasurementConsistency:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_total_run_length_equals_pixel_count(self, seed):
+        rng = np.random.default_rng(seed)
+        img = (rng.random((12, 12)) < 0.4).astype(np.uint8)
+        if not img.any():
+            return
+        m = ClipMeasurements(img)
+        assert int(m.h_runs.lengths.sum()) == int(img.sum())
+        assert int(m.v_runs.lengths.sum()) == int(img.sum())
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_component_area_sums_to_pixel_count(self, seed):
+        rng = np.random.default_rng(seed)
+        img = (rng.random((12, 12)) < 0.4).astype(np.uint8)
+        m = ClipMeasurements(img)
+        assert int(m.areas.sum()) == int(img.sum())
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_gaps_plus_runs_bounded_by_extent(self, seed):
+        rng = np.random.default_rng(seed)
+        img = (rng.random((10, 14)) < 0.5).astype(np.uint8)
+        m = ClipMeasurements(img)
+        per_row_total = np.zeros(10, dtype=np.int64)
+        for table in (m.h_runs, m.h_gaps):
+            np.add.at(per_row_total, table.lines, table.lengths)
+        assert (per_row_total <= 14).all()
+
+
+class TestDeckMonotonicity:
+    def test_basic_deck_accepts_advanced_clips(self, clean_clips):
+        """Advanced-deck-legal track clips satisfy the looser basic deck."""
+        engine = basic_deck(GRID).engine()
+        for clip in clean_clips:
+            assert engine.is_clean(clip)

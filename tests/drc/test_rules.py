@@ -1,0 +1,219 @@
+"""Unit tests for every design-rule class on crafted clips."""
+
+import numpy as np
+import pytest
+
+from repro.drc import (
+    WIDE_CLASS,
+    ClipMeasurements,
+    DiscreteWidthRule,
+    EndToEndRule,
+    MaxAreaRule,
+    MaxSpacingRule,
+    MaxWidthRule,
+    MinAreaRule,
+    MinSpacingRule,
+    MinWidthRule,
+    NonEmptyRule,
+    WidthDependentSpacingRule,
+    classify_width,
+)
+
+
+def measure(img):
+    return ClipMeasurements(np.asarray(img, dtype=np.uint8))
+
+
+def two_wires(w1, w2, gap, height=10):
+    """Two vertical wires of the given widths separated by ``gap``."""
+    width = w1 + gap + w2 + 4
+    img = np.zeros((height, width), dtype=np.uint8)
+    img[:, 2 : 2 + w1] = 1
+    img[:, 2 + w1 + gap : 2 + w1 + gap + w2] = 1
+    return img
+
+
+class TestWidthRules:
+    def test_min_width_flags_narrow_wire(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[:, 3:5] = 1  # width 2
+        violations = MinWidthRule("h", 3).check(measure(img))
+        assert len(violations) == 8  # one per row
+        assert all(v.measured == 2 for v in violations)
+        assert violations[0].rule == "Mx.W.MIN.H"
+
+    def test_min_width_passes_at_limit(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[:, 3:6] = 1
+        assert MinWidthRule("h", 3).check(measure(img)) == []
+
+    def test_max_width(self):
+        img = np.zeros((4, 12), dtype=np.uint8)
+        img[:, 1:11] = 1  # width 10
+        assert MaxWidthRule("h", 9).check(measure(img))
+        assert MaxWidthRule("h", 10).check(measure(img)) == []
+
+    def test_vertical_min_width_is_segment_length(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[2:5, 3:6] = 1  # 3 rows tall
+        assert MinWidthRule("v", 4).check(measure(img))
+        assert MinWidthRule("v", 3).check(measure(img)) == []
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(ValueError):
+            MinWidthRule("x", 3)
+
+
+class TestDiscreteWidthRule:
+    def test_flags_width_not_in_set(self):
+        img = two_wires(3, 4, 5)
+        rule = DiscreteWidthRule("h", (3, 5))
+        violations = rule.check(measure(img))
+        assert violations
+        assert all(v.measured == 4 for v in violations)
+
+    def test_passes_allowed_widths(self):
+        img = two_wires(3, 5, 5)
+        assert DiscreteWidthRule("h", (3, 5)).check(measure(img)) == []
+
+    def test_connector_exemption(self):
+        img = np.zeros((8, 16), dtype=np.uint8)
+        img[:, 2:14] = 1  # width 12 >= exemption 8
+        rule = DiscreteWidthRule("h", (3, 5), exempt_at_or_above=8)
+        assert rule.check(measure(img)) == []
+
+    def test_width_between_allowed_and_exemption_is_flagged(self):
+        img = np.zeros((8, 16), dtype=np.uint8)
+        img[:, 2:9] = 1  # width 7 < 8
+        rule = DiscreteWidthRule("h", (3, 5), exempt_at_or_above=8)
+        assert rule.check(measure(img))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteWidthRule("h", ())
+        with pytest.raises(ValueError):
+            DiscreteWidthRule("h", (3, 5), exempt_at_or_above=5)
+
+
+class TestSpacingRules:
+    def test_min_spacing(self):
+        img = two_wires(3, 3, 2)
+        assert MinSpacingRule("h", 3).check(measure(img))
+        assert MinSpacingRule("h", 2).check(measure(img)) == []
+
+    def test_max_spacing(self):
+        img = two_wires(3, 3, 15)
+        assert MaxSpacingRule("h", 14).check(measure(img))
+        assert MaxSpacingRule("h", 15).check(measure(img)) == []
+
+    def test_border_clearance_is_not_a_spacing(self):
+        img = np.zeros((4, 20), dtype=np.uint8)
+        img[:, 9:12] = 1  # single wire, huge border clearances
+        assert MaxSpacingRule("h", 3).check(measure(img)) == []
+
+
+class TestClassifyWidth:
+    def test_allowed(self):
+        assert classify_width(3, (3, 5), 8) == 3
+
+    def test_wide(self):
+        assert classify_width(9, (3, 5), 8) == WIDE_CLASS
+
+    def test_illegal_width_is_none(self):
+        assert classify_width(4, (3, 5), 8) is None
+        assert classify_width(7, (3, 5), 8) is None
+
+    def test_no_exemption(self):
+        assert classify_width(9, (3, 5), None) is None
+
+
+class TestWidthDependentSpacing:
+    def make_rule(self):
+        return WidthDependentSpacingRule(
+            "h",
+            allowed_px=(3, 5),
+            windows={
+                (3, 3): (4, 14),
+                (3, 5): (4, 13),
+                (5, 3): (4, 13),
+                (5, 5): (5, 12),
+            },
+            default_window=(4, 14),
+            exempt_at_or_above=8,
+        )
+
+    def test_adjacent_5_5_gap_3_is_illegal(self):
+        violations = self.make_rule().check(measure(two_wires(5, 5, 3)))
+        assert violations
+        assert "outside window [5, 12]" in violations[0].message
+
+    def test_adjacent_3_3_gap_5_is_legal(self):
+        assert self.make_rule().check(measure(two_wires(3, 3, 5))) == []
+
+    def test_pair_asymmetry_uses_left_right_order(self):
+        # (3,5) window is [4,13]: gap 13 passes; (5,5) would fail at 13.
+        assert self.make_rule().check(measure(two_wires(3, 5, 13))) == []
+        assert self.make_rule().check(measure(two_wires(5, 5, 13)))
+
+    def test_gap_next_to_illegal_width_is_skipped(self):
+        # Width 4 is illegal; the width rule owns that, spacing stays quiet.
+        assert self.make_rule().check(measure(two_wires(4, 3, 2))) == []
+
+    def test_wide_neighbour_uses_window_table(self):
+        img = two_wires(12, 3, 4)  # connector next to a wire, gap 4
+        assert self.make_rule().check(measure(img)) == []
+        img_close = two_wires(12, 3, 3)
+        assert self.make_rule().check(measure(img_close))
+
+    def test_window_for_lookup(self):
+        rule = self.make_rule()
+        assert rule.window_for(3, 5) == (4, 13)
+        assert rule.window_for(9, 3) == (4, 14)  # wide falls to default
+        assert rule.window_for(4, 3) is None
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            WidthDependentSpacingRule(
+                "h", allowed_px=(3,), windows={(3, 3): (5, 4)}
+            )
+
+
+class TestEndToEnd:
+    def test_vertical_gap_below_min_flagged(self):
+        img = np.zeros((12, 8), dtype=np.uint8)
+        img[0:4, 2:5] = 1
+        img[6:12, 2:5] = 1  # vertical gap of 2 rows
+        assert EndToEndRule(4).check(measure(img))
+        assert EndToEndRule(2).check(measure(img)) == []
+
+
+class TestAreaRules:
+    def test_min_area(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[2:4, 2:4] = 1  # area 4
+        assert MinAreaRule(5).check(measure(img))
+        assert MinAreaRule(4).check(measure(img)) == []
+
+    def test_max_area(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[1:7, 1:7] = 1  # area 36
+        assert MaxAreaRule(35).check(measure(img))
+        assert MaxAreaRule(36).check(measure(img)) == []
+
+    def test_each_component_checked_separately(self):
+        img = np.zeros((10, 10), dtype=np.uint8)
+        img[0:2, 0:2] = 1  # area 4
+        img[5:9, 5:9] = 1  # area 16
+        violations = MinAreaRule(5).check(measure(img))
+        assert len(violations) == 1
+        assert violations[0].measured == 4
+
+
+class TestNonEmpty:
+    def test_empty_clip_flagged(self):
+        assert NonEmptyRule().check(measure(np.zeros((4, 4))))
+
+    def test_populated_clip_passes(self):
+        img = np.zeros((4, 4), dtype=np.uint8)
+        img[1, 1] = 1
+        assert NonEmptyRule().check(measure(img)) == []

@@ -1,0 +1,96 @@
+"""Unit tests for experiment infrastructure (no heavy runs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GenerationStats
+from repro.experiments.common import (
+    ModelRun,
+    format_table,
+    load_model_run,
+    repro_scale,
+    save_model_run,
+    scaled,
+)
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert repro_scale() == 1.0
+        assert scaled(200) == 200
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert scaled(200) == 100
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scaled(200) == 1
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "zero")
+        with pytest.raises(ValueError):
+            repro_scale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            repro_scale()
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.23456], ["b", 2]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in text
+        assert lines[1].startswith("name")
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestModelRunPersistence:
+    def make_run(self):
+        rng = np.random.default_rng(0)
+        clips = [(rng.random((8, 8)) < 0.4).astype(np.uint8) for _ in range(3)]
+        raw = [
+            (rng.normal(size=(8, 8)).astype(np.float32), clips[0])
+            for _ in range(2)
+        ]
+        stats = [
+            GenerationStats(label="init", generated=10, legal=4, admitted=3),
+            GenerationStats(label="iter-1", generated=5, legal=2, admitted=2),
+        ]
+        return ModelRun(name="sd1-ft", stats=stats, library=clips, raw=raw)
+
+    def test_roundtrip(self, tmp_path):
+        run = self.make_run()
+        path = tmp_path / "run.npz"
+        save_model_run(run, path)
+        loaded = load_model_run(path)
+        assert loaded.name == run.name
+        assert len(loaded.stats) == 2
+        assert loaded.stats[0].label == "init"
+        assert loaded.stats[0].generated == 10
+        assert len(loaded.library) == 3
+        assert len(loaded.raw) == 2
+        np.testing.assert_allclose(loaded.raw[0][0], run.raw[0][0])
+
+    def test_aggregates(self):
+        run = self.make_run()
+        assert run.total_generated == 15
+        assert run.total_legal == 6
+        assert run.init_stats.label == "init"
+
+    def test_empty_run_roundtrip(self, tmp_path):
+        run = ModelRun(name="x", stats=[GenerationStats(label="init")])
+        path = tmp_path / "empty.npz"
+        save_model_run(run, path)
+        loaded = load_model_run(path)
+        assert loaded.library == []
+        assert loaded.raw == []

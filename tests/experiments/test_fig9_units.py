@@ -1,0 +1,49 @@
+"""Unit tests for Figure 9 building blocks (no full sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig9 import SETTINGS, _deck_for, random_topology
+
+
+class TestRandomTopology:
+    def test_shape_and_dtype(self):
+        topology = random_topology(12, np.random.default_rng(0))
+        assert topology.shape == (12, 12)
+        assert topology.dtype == np.bool_
+
+    def test_fill_near_target(self):
+        topology = random_topology(24, np.random.default_rng(1), fill_target=0.35)
+        assert 0.2 <= topology.mean() <= 0.7
+
+    def test_never_empty(self):
+        for seed in range(5):
+            topology = random_topology(8, np.random.default_rng(seed))
+            assert topology.any()
+
+    def test_deterministic(self):
+        a = random_topology(10, np.random.default_rng(3))
+        b = random_topology(10, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSweepDecks:
+    @pytest.mark.parametrize("setting", SETTINGS)
+    def test_decks_build_for_all_settings(self, setting):
+        deck = _deck_for(setting, size=20, px_per_cell=4)
+        assert deck.grid.width_px == 80
+        engine = deck.engine()
+        assert engine.name == deck.name
+
+    def test_area_window_scales_with_size(self):
+        small = _deck_for("default", 10, 4)
+        large = _deck_for("default", 40, 4)
+        assert large.area_window_px2[1] > small.area_window_px2[1]
+
+    def test_discrete_setting_keeps_discrete_rule(self):
+        deck = _deck_for("complex-discrete", 16, 4)
+        assert deck.has_discrete_widths
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(ValueError):
+            _deck_for("intel", 10, 4)

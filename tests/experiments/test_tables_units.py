@@ -1,0 +1,91 @@
+"""Unit tests for table formatting (synthetic rows, no heavy runs)."""
+
+from repro.experiments.fig7 import Fig7Series, fig7_trends, format_fig7
+from repro.experiments.fig9 import Fig9Curve, Fig9Point, format_fig9
+from repro.experiments.table1 import Table1Row, format_table1
+from repro.experiments.table2 import Table2Row, format_table2
+from repro.experiments.table3 import Table3Row, format_table3
+
+
+class TestTable1Formatting:
+    def test_rows_render(self):
+        rows = [
+            Table1Row("Starter patterns", 0, 20, 20, 3.68, 4.32),
+            Table1Row("CUP", 200, 0, 0, 0.0, 0.0),
+            Table1Row("PatternPaint-sd1-ft-init", 200, 23, 17, 4.65, 5.2),
+        ]
+        text = format_table1(rows)
+        assert "Table I" in text
+        assert "CUP" in text
+        assert "4.32" in text
+
+
+class TestTable2Formatting:
+    def test_rows_render(self):
+        rows = [
+            Table2Row("PatternPaint (Inpainting)", 0.41),
+            Table2Row("PatternPaint (Denoising)", 0.002),
+            Table2Row("DiffPattern", 1.4),
+        ]
+        text = format_table2(rows)
+        assert "Runtime" in text
+        assert "DiffPattern" in text
+
+
+class TestTable3Formatting:
+    def test_rows_render(self):
+        rows = [
+            Table3Row("PatternPaint-sd1-ft", 11.7, 1.0, 0.0),
+            Table3Row("Average", 8.4, 0.9, 0.0),
+        ]
+        text = format_table3(rows)
+        assert "Template" in text
+        assert "Average" in text
+
+
+class TestFig7:
+    def make_series(self, name, h2_last=6.0):
+        return Fig7Series(
+            name=name,
+            legal=[10, 20, 30],
+            unique=[8, 15, 21],
+            h1=[3.0, 2.9, 2.8],
+            h2=[4.0, 5.0, h2_last],
+        )
+
+    def test_format(self):
+        text = format_fig7([self.make_series("sd1-ft")])
+        assert "Figure 7 panel: H2" in text
+        assert "iter-2" in text
+
+    def test_trends(self):
+        series = [
+            self.make_series("sd1-base", h2_last=5.5),
+            self.make_series("sd1-ft", h2_last=6.5),
+        ]
+        trends = fig7_trends(series)
+        assert trends["h2_grows_with_iterations"]
+        assert trends["unique_grows_with_iterations"]
+        assert trends["finetuned_h2_beats_base"]
+
+    def test_empty(self):
+        assert "no data" in format_fig7([])
+
+
+class TestFig9Formatting:
+    def test_format(self):
+        curves = [
+            Fig9Curve(
+                setting=s,
+                points=[Fig9Point(10, 0.1, 1.0), Fig9Point(20, 0.5, 0.5)],
+            )
+            for s in ("default", "complex", "complex-discrete")
+        ]
+        denoise = Fig9Curve(
+            setting="patternpaint-denoise",
+            points=[Fig9Point(10, 0.001, 1.0), Fig9Point(20, 0.002, 1.0)],
+        )
+        text = format_fig9(curves, denoise)
+        assert "runtime" in text
+        assert "success rate" in text
+        assert "complex-discrete" in text

@@ -1,0 +1,59 @@
+"""Unit tests for the pixel grid / physical units."""
+
+import pytest
+
+from repro.geometry import DEFAULT_GRID, Grid
+
+
+class TestGridConstruction:
+    def test_default_grid_is_64px_8nm(self):
+        assert DEFAULT_GRID.shape == (64, 64)
+        assert DEFAULT_GRID.nm_per_px == 8.0
+
+    def test_rejects_nonpositive_pitch(self):
+        with pytest.raises(ValueError, match="nm_per_px"):
+            Grid(nm_per_px=0.0)
+        with pytest.raises(ValueError, match="nm_per_px"):
+            Grid(nm_per_px=-1.0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            Grid(width_px=0)
+        with pytest.raises(ValueError, match="dimensions"):
+            Grid(height_px=-4)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_GRID.nm_per_px = 1.0
+
+
+class TestConversions:
+    def test_px_nm_roundtrip(self):
+        grid = Grid(nm_per_px=8.0)
+        assert grid.to_nm(4) == 32.0
+        assert grid.to_px(32.0) == 4.0
+        assert grid.to_px(grid.to_nm(13)) == 13.0
+
+    def test_snap_rounds_to_nearest(self):
+        grid = Grid(nm_per_px=8.0)
+        assert grid.snap_px(33.0) == 4
+        assert grid.snap_px(27.9) == 3
+        assert grid.snap_px(36.0) == 4  # banker's rounding on .5 * 8
+
+    def test_area_conversion(self):
+        grid = Grid(nm_per_px=2.0)
+        assert grid.area_nm2(3) == 12.0
+
+    def test_clip_physical_extent(self):
+        grid = Grid(nm_per_px=8.0, width_px=64, height_px=32)
+        assert grid.clip_width_nm == 512.0
+        assert grid.clip_height_nm == 256.0
+
+
+class TestWithShape:
+    def test_with_shape_changes_dimensions_only(self):
+        grid = Grid(nm_per_px=4.0, width_px=64, height_px=64)
+        resized = grid.with_shape(32, 16)
+        assert resized.shape == (32, 16)
+        assert resized.nm_per_px == 4.0
+        assert grid.shape == (64, 64)  # original untouched

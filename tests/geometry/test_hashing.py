@@ -1,0 +1,66 @@
+"""Unit tests for pattern identities (exact, geometry, complexity)."""
+
+import numpy as np
+
+from repro.geometry import (
+    complexity_key,
+    flip_horizontal,
+    geometry_key,
+    pattern_hash,
+    squish,
+    squish_of,
+)
+
+
+def wire(width, offset=2, size=8):
+    img = np.zeros((size, size), dtype=np.uint8)
+    img[:, offset : offset + width] = 1
+    return img
+
+
+class TestPatternHash:
+    def test_deterministic(self):
+        assert pattern_hash(wire(3)) == pattern_hash(wire(3))
+
+    def test_distinguishes_content(self):
+        assert pattern_hash(wire(3)) != pattern_hash(wire(4))
+
+    def test_shape_aware(self):
+        a = np.zeros((2, 8), dtype=np.uint8)
+        b = np.zeros((4, 4), dtype=np.uint8)
+        assert pattern_hash(a) != pattern_hash(b)
+
+    def test_dtype_invariant(self):
+        img = wire(3)
+        as_float = img.astype(np.float32)
+        assert pattern_hash(img) == pattern_hash(as_float)
+
+
+class TestGeometryKey:
+    def test_matches_squish_signature(self):
+        img = wire(3)
+        assert geometry_key(img) == squish(img).geometry_signature()
+
+    def test_same_topology_different_geometry_differ(self):
+        # Same single-wire topology, different width: H2 distinguishes.
+        assert geometry_key(wire(3)) != geometry_key(wire(4))
+
+    def test_mirrored_wire_same_h2_class_when_symmetric(self):
+        img = wire(3, offset=2, size=8)
+        mirrored = flip_horizontal(img)
+        # offset 2 width 3 in size 8: dx = (2,3,3) vs mirrored (3,3,2).
+        assert geometry_key(img) != geometry_key(mirrored)
+
+    def test_accepts_squish_pattern_directly(self):
+        pattern = squish(wire(3))
+        assert geometry_key(pattern) == pattern.geometry_signature()
+        assert squish_of(pattern) is pattern
+
+
+class TestComplexityKey:
+    def test_complexity_of_wire(self):
+        assert complexity_key(wire(3)) == (3, 1)
+
+    def test_width_change_keeps_complexity_class(self):
+        # H1 ignores geometry: both are 3-cell-wide single wires.
+        assert complexity_key(wire(3)) == complexity_key(wire(4))

@@ -1,0 +1,106 @@
+"""Unit tests for raster primitives (runs, gaps, components, density)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    as_binary,
+    component_areas,
+    connected_components,
+    density,
+    gaps_in_line,
+    runs_in_line,
+    runs_per_column,
+    runs_per_row,
+    validate_clip,
+)
+
+
+class TestAsBinary:
+    def test_bool_passthrough(self):
+        arr = np.array([[True, False]])
+        assert as_binary(arr).dtype == np.bool_
+
+    def test_integer_nonzero(self):
+        arr = np.array([[0, 1, 2, 255]], dtype=np.uint8)
+        np.testing.assert_array_equal(as_binary(arr), [[False, True, True, True]])
+
+    def test_signed_float_thresholds_at_zero(self):
+        arr = np.array([[-0.9, -0.1, 0.1, 0.9]], dtype=np.float32)
+        np.testing.assert_array_equal(as_binary(arr), [[False, False, True, True]])
+
+    def test_unsigned_float_thresholds_at_half(self):
+        arr = np.array([[0.0, 0.4, 0.6, 1.0]], dtype=np.float32)
+        np.testing.assert_array_equal(as_binary(arr), [[False, False, True, True]])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            as_binary(np.zeros(4))
+
+    def test_validate_clip_returns_uint8(self):
+        out = validate_clip(np.array([[0.9, -0.9]], dtype=np.float32))
+        assert out.dtype == np.uint8
+        np.testing.assert_array_equal(out, [[1, 0]])
+
+
+class TestRuns:
+    def test_runs_in_line_basic(self):
+        line = np.array([0, 1, 1, 0, 1, 0, 0, 1, 1, 1])
+        assert runs_in_line(line) == [(1, 3), (4, 5), (7, 10)]
+
+    def test_runs_empty_and_full(self):
+        assert runs_in_line(np.zeros(5)) == []
+        assert runs_in_line(np.ones(5)) == [(0, 5)]
+
+    def test_gaps_exclude_borders(self):
+        line = np.array([0, 1, 1, 0, 0, 1, 0])
+        assert gaps_in_line(line) == [(3, 5)]
+
+    def test_gaps_need_two_runs(self):
+        assert gaps_in_line(np.array([0, 1, 1, 0])) == []
+
+    def test_runs_per_row_and_column_agree_with_transpose(self):
+        rng = np.random.default_rng(0)
+        img = (rng.random((6, 9)) < 0.4).astype(np.uint8)
+        rows = {(r.line, r.start, r.stop) for r in runs_per_row(img)}
+        cols_t = {(r.line, r.start, r.stop) for r in runs_per_row(img.T)}
+        cols = {(r.line, r.start, r.stop) for r in runs_per_column(img)}
+        assert cols == cols_t
+        assert rows == {
+            (r.line, r.start, r.stop) for r in runs_per_column(img.T)
+        }
+
+    def test_run_length(self):
+        run = runs_per_row(np.array([[1, 1, 1, 0]]))[0]
+        assert run.length == 3
+
+
+class TestComponents:
+    def test_diagonal_pixels_are_separate_polygons(self):
+        img = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        _, count = connected_components(img)
+        assert count == 2
+
+    def test_edge_connected_pixels_merge(self):
+        img = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        _, count = connected_components(img)
+        assert count == 1
+
+    def test_component_areas(self):
+        img = np.zeros((6, 6), dtype=np.uint8)
+        img[0:2, 0:2] = 1  # area 4
+        img[4:6, 3:6] = 1  # area 6
+        areas = sorted(component_areas(img))
+        assert areas == [4, 6]
+
+    def test_component_areas_empty(self):
+        assert component_areas(np.zeros((3, 3))).size == 0
+
+
+class TestDensity:
+    def test_density_values(self):
+        img = np.zeros((4, 4), dtype=np.uint8)
+        img[:2] = 1
+        assert density(img) == 0.5
+        assert density(np.zeros((4, 4))) == 0.0
+        assert density(np.ones((4, 4))) == 1.0

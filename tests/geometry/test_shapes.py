@@ -1,0 +1,130 @@
+"""Unit + property tests for rectangles and rectangle decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import Rect, decompose_rects, merge_touching_rects, rects_to_raster
+
+
+class TestRectBasics:
+    def test_measures(self):
+        r = Rect(1, 2, 4, 7)
+        assert r.width == 3
+        assert r.height == 5
+        assert r.area == 15
+        assert r.center == (2.5, 4.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            Rect(3, 0, 2, 5)
+
+    def test_ordering_is_lexicographic(self):
+        assert Rect(0, 0, 1, 1) < Rect(0, 1, 1, 2) < Rect(1, 0, 2, 1)
+
+
+class TestRectRelations:
+    def test_intersects_and_intersection(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        assert a.intersects(b)
+        assert a.intersection(b) == Rect(2, 2, 4, 4)
+
+    def test_abutting_rects_touch_but_do_not_intersect(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(4, 0, 8, 4)
+        assert not a.intersects(b)
+        assert a.touches(b)
+        assert a.intersection(b) is None
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(5, 5, 6, 7)) == Rect(0, 0, 6, 7)
+
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.contains_point(0, 0)
+        assert not r.contains_point(4, 0)
+        assert not r.contains_point(0, 4)
+
+    def test_translate_and_expand(self):
+        r = Rect(1, 1, 3, 3)
+        assert r.translated(2, -1) == Rect(3, 0, 5, 2)
+        assert r.expanded(1) == Rect(0, 0, 4, 4)
+
+    def test_shrinking_to_nothing_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 1, 3, 3).expanded(-1)
+
+    def test_clipped(self):
+        bounds = Rect(0, 0, 4, 4)
+        assert Rect(2, 2, 8, 8).clipped(bounds) == Rect(2, 2, 4, 4)
+        assert Rect(5, 5, 8, 8).clipped(bounds) is None
+
+
+class TestRasterization:
+    def test_rects_to_raster_sets_exact_pixels(self):
+        img = rects_to_raster([Rect(1, 0, 3, 2)], (4, 4))
+        expected = np.zeros((4, 4), dtype=np.uint8)
+        expected[0:2, 1:3] = 1
+        np.testing.assert_array_equal(img, expected)
+
+    def test_out_of_bounds_rects_are_clipped(self):
+        img = rects_to_raster([Rect(-2, -2, 2, 2), Rect(10, 10, 20, 20)], (4, 4))
+        assert img[:2, :2].all()
+        assert img.sum() == 4
+
+    def test_decompose_simple_vertical_wire(self):
+        img = np.zeros((8, 8), dtype=np.uint8)
+        img[:, 2:5] = 1
+        assert decompose_rects(img) == [Rect(2, 0, 5, 8)]
+
+    def test_decompose_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            decompose_rects(np.zeros((2, 2, 2)))
+
+    def test_decompose_splits_at_run_change(self):
+        img = np.zeros((6, 8), dtype=np.uint8)
+        img[:, 2:4] = 1
+        img[2:4, 2:7] = 1  # connector widens the run in rows 2-3
+        rects = decompose_rects(img)
+        assert Rect(2, 0, 4, 2) in rects
+        assert Rect(2, 2, 7, 4) in rects
+        assert Rect(2, 4, 4, 6) in rects
+
+    def test_merge_touching_rects_is_canonical(self):
+        shape = (8, 8)
+        split = [Rect(0, 0, 2, 4), Rect(0, 4, 2, 8)]
+        merged = merge_touching_rects(split, shape)
+        assert merged == [Rect(0, 0, 2, 8)]
+
+
+@st.composite
+def binary_rasters(draw, max_side=12):
+    h = draw(st.integers(1, max_side))
+    w = draw(st.integers(1, max_side))
+    return draw(
+        hnp.arrays(dtype=np.uint8, shape=(h, w), elements=st.integers(0, 1))
+    )
+
+
+class TestDecomposeProperties:
+    @given(binary_rasters())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_exact(self, img):
+        rects = decompose_rects(img)
+        back = rects_to_raster(rects, img.shape)
+        np.testing.assert_array_equal(back, (img != 0).astype(np.uint8))
+
+    @given(binary_rasters())
+    @settings(max_examples=60, deadline=None)
+    def test_no_overlaps_and_area_conserved(self, img):
+        rects = decompose_rects(img)
+        total = sum(r.area for r in rects)
+        assert total == int((img != 0).sum())
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.intersects(b)

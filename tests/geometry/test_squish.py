@@ -1,0 +1,160 @@
+"""Unit + property tests for the squish representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import (
+    SquishPattern,
+    scan_lines_x,
+    scan_lines_y,
+    squish,
+    topology_from_lines,
+    unsquish,
+)
+
+
+def vertical_wire_clip():
+    img = np.zeros((8, 8), dtype=np.uint8)
+    img[:, 2:5] = 1
+    return img
+
+
+class TestScanLines:
+    def test_vertical_wire_x_lines(self):
+        np.testing.assert_array_equal(
+            scan_lines_x(vertical_wire_clip()), [0, 2, 5, 8]
+        )
+
+    def test_vertical_wire_y_lines_only_borders(self):
+        np.testing.assert_array_equal(scan_lines_y(vertical_wire_clip()), [0, 8])
+
+    def test_empty_clip_has_border_lines_only(self):
+        img = np.zeros((4, 6), dtype=np.uint8)
+        np.testing.assert_array_equal(scan_lines_x(img), [0, 6])
+        np.testing.assert_array_equal(scan_lines_y(img), [0, 4])
+
+    def test_checkerboard_has_all_lines(self):
+        img = np.indices((4, 4)).sum(axis=0) % 2
+        np.testing.assert_array_equal(scan_lines_x(img), [0, 1, 2, 3, 4])
+
+
+class TestSquishPattern:
+    def test_roundtrip_simple(self):
+        img = vertical_wire_clip()
+        pattern = squish(img)
+        np.testing.assert_array_equal(pattern.to_image(), img)
+
+    def test_dimensions_and_complexity(self):
+        pattern = squish(vertical_wire_clip())
+        assert pattern.width == 8
+        assert pattern.height == 8
+        assert pattern.complexity == (3, 1)
+        np.testing.assert_array_equal(pattern.dx, [2, 3, 3])
+        np.testing.assert_array_equal(pattern.dy, [8])
+
+    def test_geometry_signature_is_hashable_and_stable(self):
+        a = squish(vertical_wire_clip()).geometry_signature()
+        b = squish(vertical_wire_clip()).geometry_signature()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a == ((2, 3, 3), (8,))
+
+    def test_validation_topology_shape(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            SquishPattern(
+                topology=np.ones((2, 2), dtype=bool),
+                dx=np.array([1, 1, 1]),
+                dy=np.array([1, 1]),
+            )
+
+    def test_validation_positive_deltas(self):
+        with pytest.raises(ValueError, match="positive"):
+            SquishPattern(
+                topology=np.ones((1, 2), dtype=bool),
+                dx=np.array([1, 0]),
+                dy=np.array([1]),
+            )
+
+    def test_unsquish_matches_to_image(self):
+        topo = np.array([[True, False], [False, True]])
+        dx = np.array([2, 3])
+        dy = np.array([1, 2])
+        img = unsquish(topo, dx, dy)
+        assert img.shape == (3, 5)
+        assert img[0, :2].all() and not img[0, 2:].any()
+
+    def test_canonical_merges_duplicate_lines(self):
+        # A topology with identical adjacent columns is not canonical.
+        pattern = SquishPattern(
+            topology=np.array([[True, True, False]]),
+            dx=np.array([2, 2, 4]),
+            dy=np.array([8]),
+        )
+        canonical = pattern.canonical()
+        assert canonical.complexity == (2, 1)
+        np.testing.assert_array_equal(canonical.dx, [4, 4])
+
+
+@st.composite
+def clips(draw, max_side=16):
+    h = draw(st.integers(1, max_side))
+    w = draw(st.integers(1, max_side))
+    return draw(
+        hnp.arrays(dtype=np.uint8, shape=(h, w), elements=st.integers(0, 1))
+    )
+
+
+class TestSquishProperties:
+    @given(clips())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_is_exact(self, img):
+        np.testing.assert_array_equal(squish(img).to_image(), img)
+
+    @given(clips())
+    @settings(max_examples=80, deadline=None)
+    def test_canonical_form_is_minimal(self, img):
+        pattern = squish(img)
+        topo = pattern.topology
+        if topo.shape[1] > 1:
+            adjacent_equal_cols = (topo[:, 1:] == topo[:, :-1]).all(axis=0)
+            assert not adjacent_equal_cols.any()
+        if topo.shape[0] > 1:
+            adjacent_equal_rows = (topo[1:] == topo[:-1]).all(axis=1)
+            assert not adjacent_equal_rows.any()
+
+    @given(clips())
+    @settings(max_examples=50, deadline=None)
+    def test_deltas_sum_to_clip_size(self, img):
+        pattern = squish(img)
+        assert pattern.dx.sum() == img.shape[1]
+        assert pattern.dy.sum() == img.shape[0]
+
+
+class TestTopologyFromLines:
+    def test_majority_vote_recovers_clean_pattern(self):
+        img = vertical_wire_clip()
+        pattern = topology_from_lines(
+            img, np.array([0, 2, 5, 8]), np.array([0, 8])
+        )
+        np.testing.assert_array_equal(pattern.to_image(), img)
+
+    def test_majority_vote_suppresses_minority_noise(self):
+        img = vertical_wire_clip().astype(np.uint8)
+        img[3, 2] = 0  # a single dropout inside the wire
+        pattern = topology_from_lines(
+            img, np.array([0, 2, 5, 8]), np.array([0, 8])
+        )
+        np.testing.assert_array_equal(pattern.to_image(), vertical_wire_clip())
+
+    def test_rejects_lines_missing_borders(self):
+        img = vertical_wire_clip()
+        with pytest.raises(ValueError, match="span"):
+            topology_from_lines(img, np.array([2, 5, 8]), np.array([0, 8]))
+
+    def test_rejects_unsorted_lines(self):
+        img = vertical_wire_clip()
+        with pytest.raises(ValueError, match="increasing"):
+            topology_from_lines(img, np.array([0, 5, 2, 8]), np.array([0, 8]))

@@ -1,0 +1,85 @@
+"""Unit + property tests for clip transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import (
+    center_crop,
+    dihedral_variants,
+    flip_horizontal,
+    flip_vertical,
+    pad_to,
+    random_crop,
+    rotate90,
+)
+
+
+@st.composite
+def clips(draw, max_side=10):
+    h = draw(st.integers(1, max_side))
+    w = draw(st.integers(1, max_side))
+    return draw(
+        hnp.arrays(dtype=np.uint8, shape=(h, w), elements=st.integers(0, 1))
+    )
+
+
+class TestFlipsAndRotations:
+    @given(clips())
+    @settings(max_examples=40, deadline=None)
+    def test_flips_are_involutions(self, img):
+        np.testing.assert_array_equal(flip_horizontal(flip_horizontal(img)), img)
+        np.testing.assert_array_equal(flip_vertical(flip_vertical(img)), img)
+
+    @given(clips())
+    @settings(max_examples=40, deadline=None)
+    def test_four_quarter_turns_are_identity(self, img):
+        out = img
+        for _ in range(4):
+            out = rotate90(out)
+        np.testing.assert_array_equal(out, img)
+
+    def test_rotate_direction(self):
+        img = np.array([[1, 0], [0, 0]], dtype=np.uint8)
+        np.testing.assert_array_equal(rotate90(img), [[0, 0], [1, 0]])
+
+    def test_dihedral_variant_count(self):
+        img = np.arange(6, dtype=np.uint8).reshape(2, 3) % 2
+        variants = dihedral_variants(img)
+        assert len(variants) == 8
+
+
+class TestPadCrop:
+    def test_pad_centers_content(self):
+        img = np.ones((2, 2), dtype=np.uint8)
+        out = pad_to(img, (4, 4))
+        assert out.shape == (4, 4)
+        assert out[1:3, 1:3].all()
+        assert out.sum() == 4
+
+    def test_pad_rejects_shrinking(self):
+        with pytest.raises(ValueError):
+            pad_to(np.ones((4, 4)), (2, 2))
+
+    def test_center_crop_inverse_of_pad_for_even_margins(self):
+        img = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        padded = pad_to(img, (8, 8))
+        np.testing.assert_array_equal(center_crop(padded, (4, 4)), img)
+
+    def test_center_crop_rejects_growing(self):
+        with pytest.raises(ValueError):
+            center_crop(np.ones((2, 2)), (4, 4))
+
+    def test_random_crop_window_is_within_bounds(self):
+        rng = np.random.default_rng(0)
+        img = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        for _ in range(10):
+            out = random_crop(img, (3, 3), rng)
+            assert out.shape == (3, 3)
+
+    def test_random_crop_full_size_is_identity(self):
+        rng = np.random.default_rng(0)
+        img = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        np.testing.assert_array_equal(random_crop(img, (4, 4), rng), img)

@@ -1,0 +1,127 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These train tiny models inline (seconds, not minutes) and verify that the
+complete chains — corpus -> train -> inpaint -> denoise -> DRC -> library
+-> metrics, and topology -> solver -> DRC — hold together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rule_based import TrackGeneratorConfig, TrackPatternGenerator
+from repro.baselines.solver import SolverSettings, SquishLegalizer
+from repro.core import PatternPaint, PatternPaintConfig
+from repro.diffusion import Ddpm, InpaintConfig, clips_to_model_space, linear_schedule
+from repro.drc import advanced_deck, basic_deck
+from repro.geometry import Grid, squish
+from repro.metrics import summarize_library
+from repro.nn import TimeUnet, UNetConfig
+
+GRID = Grid(nm_per_px=32.0, width_px=16, height_px=16)
+
+
+@pytest.fixture(scope="module")
+def tiny_trained_ddpm():
+    """A 16x16 DDPM briefly trained on basic-deck clips."""
+    deck = basic_deck(GRID)
+    generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+    clips = generator.sample_many(40, np.random.default_rng(0))
+    data = clips_to_model_space(clips)
+    cfg = UNetConfig(
+        image_size=16, base_channels=8, channel_mults=(1, 2), num_res_blocks=1,
+        groups=4, time_dim=16, attention=False, seed=0,
+    )
+    ddpm = Ddpm(TimeUnet(cfg), linear_schedule(60))
+    ddpm.fit(data, steps=80, batch_size=8, lr=3e-3, rng=np.random.default_rng(1))
+    return ddpm
+
+
+class TestFullPipeline:
+    def test_generate_denoise_check_admit(self, tiny_trained_ddpm):
+        deck = basic_deck(GRID)
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        starters = generator.sample_many(4, np.random.default_rng(2))
+        pipeline = PatternPaint(
+            tiny_trained_ddpm,
+            deck,
+            PatternPaintConfig(
+                inpaint=InpaintConfig(num_steps=6),
+                variations_per_mask=1,
+                model_batch=16,
+            ),
+        )
+        library, stats, _ = pipeline.initial_generation(
+            starters, np.random.default_rng(3)
+        )
+        assert stats.generated == 40
+        # A briefly trained model + template snapping on an easy deck must
+        # produce at least some legal output.
+        assert stats.legal > 0
+        summary = summarize_library(library.clips)
+        assert summary.unique == len(library)
+
+    def test_iterative_round_grows_or_holds_library(self, tiny_trained_ddpm):
+        deck = basic_deck(GRID)
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        starters = generator.sample_many(3, np.random.default_rng(4))
+        pipeline = PatternPaint(
+            tiny_trained_ddpm,
+            deck,
+            PatternPaintConfig(
+                inpaint=InpaintConfig(num_steps=6),
+                variations_per_mask=1,
+                model_batch=16,
+                select_k=4,
+                samples_per_iteration=8,
+            ),
+        )
+        result = pipeline.run(starters, np.random.default_rng(5), iterations=2)
+        sizes = [s.library_size for s in result.stats]
+        assert sizes == sorted(sizes)
+
+
+class TestSolverChain:
+    def test_generator_squish_solver_drc_loop(self):
+        """Clip -> squish -> re-legalize -> DRC closes the loop."""
+        deck = basic_deck(GRID)
+        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+        legalizer = SquishLegalizer(deck, SolverSettings(max_iter=80))
+        engine = deck.engine()
+        successes = 0
+        for seed in range(4):
+            clip = generator.sample(np.random.default_rng(seed))
+            topology = squish(clip).topology
+            result = legalizer.legalize(
+                topology, width_px=16, height_px=16,
+                rng=np.random.default_rng(seed),
+            )
+            if result.success:
+                successes += 1
+                assert engine.is_clean(result.clip)
+        assert successes >= 2
+
+    def test_advanced_deck_is_harder_for_solver(self):
+        grid = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+        easy_deck = basic_deck(grid)
+        hard_deck = advanced_deck(grid)
+        generator = TrackPatternGenerator(
+            TrackGeneratorConfig(deck=hard_deck)
+        )
+        topologies = [
+            squish(generator.sample(np.random.default_rng(seed))).topology
+            for seed in range(5)
+        ]
+        settings = SolverSettings(max_iter=80, discrete_restarts=1)
+        easy_ok = sum(
+            SquishLegalizer(easy_deck, settings)
+            .legalize(t, width_px=32, height_px=32, rng=np.random.default_rng(0))
+            .success
+            for t in topologies
+        )
+        hard_ok = sum(
+            SquishLegalizer(hard_deck, settings)
+            .legalize(t, width_px=32, height_px=32, rng=np.random.default_rng(0))
+            .success
+            for t in topologies
+        )
+        assert hard_ok <= easy_ok

@@ -1,0 +1,59 @@
+"""Unit + property tests for the GDSII writer/reader."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import Grid, Rect
+from repro.io import clip_to_gds, gds_to_clip, read_gds_rects, write_gds
+
+GRID = Grid(nm_per_px=8.0, width_px=16, height_px=16)
+
+
+class TestGdsRoundTrip:
+    def test_single_rect(self, tmp_path):
+        path = tmp_path / "one.gds"
+        write_gds(path, [Rect(2, 3, 7, 9)], grid=GRID)
+        rects = read_gds_rects(path, grid=GRID)
+        assert rects == [Rect(2, 3, 7, 9)]
+
+    def test_clip_roundtrip(self, tmp_path):
+        clip = np.zeros((16, 16), dtype=np.uint8)
+        clip[:, 2:5] = 1
+        clip[6:10, 2:12] = 1
+        path = clip_to_gds(tmp_path / "clip.gds", clip, grid=GRID)
+        back = gds_to_clip(path, grid=GRID)
+        np.testing.assert_array_equal(back, clip)
+
+    def test_file_is_binary_gdsii(self, tmp_path):
+        path = write_gds(tmp_path / "x.gds", [Rect(0, 0, 2, 2)], grid=GRID)
+        data = path.read_bytes()
+        # HEADER record: length 6, record type 0x0002, version 600.
+        assert data[:6] == bytes([0, 6, 0, 2, 2, 88])
+
+    def test_empty_rect_list(self, tmp_path):
+        path = write_gds(tmp_path / "empty.gds", [], grid=GRID)
+        assert read_gds_rects(path, grid=GRID) == []
+
+    @given(
+        hnp.arrays(dtype=np.uint8, shape=(16, 16), elements=st.integers(0, 1))
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_clip_roundtrip(self, clip):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "c.gds"
+            clip_to_gds(path, clip, grid=GRID)
+            np.testing.assert_array_equal(
+                gds_to_clip(path, grid=GRID), (clip != 0).astype(np.uint8)
+            )
+
+    def test_corrupt_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.gds"
+        path.write_bytes(b"\x00\x01\x00\x02")  # record length < 4
+        with pytest.raises(ValueError):
+            read_gds_rects(path, grid=GRID)

@@ -1,0 +1,83 @@
+"""Unit tests for the PNG writer (validated by parsing our own output)."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.io import clip_to_png, grid_sheet, write_png
+
+
+def parse_png(path):
+    data = path.read_bytes()
+    assert data[:8] == b"\x89PNG\r\n\x1a\n"
+    offset = 8
+    chunks = {}
+    while offset < len(data):
+        length, tag = struct.unpack(">I4s", data[offset : offset + 8])
+        payload = data[offset + 8 : offset + 8 + length]
+        crc = struct.unpack(">I", data[offset + 8 + length : offset + 12 + length])[0]
+        assert crc == zlib.crc32(tag + payload) & 0xFFFFFFFF
+        chunks.setdefault(tag, []).append(payload)
+        offset += 12 + length
+    return chunks
+
+
+class TestWritePng:
+    def test_grayscale_roundtrip(self, tmp_path):
+        img = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path = write_png(tmp_path / "g.png", img)
+        chunks = parse_png(path)
+        width, height, depth, color = struct.unpack(
+            ">IIBB", chunks[b"IHDR"][0][:10]
+        )
+        assert (width, height, depth, color) == (4, 3, 8, 0)
+        raw = zlib.decompress(chunks[b"IDAT"][0])
+        rows = [raw[i * 5 + 1 : i * 5 + 5] for i in range(3)]  # skip filter byte
+        np.testing.assert_array_equal(
+            np.frombuffer(b"".join(rows), dtype=np.uint8).reshape(3, 4), img
+        )
+
+    def test_rgb_header(self, tmp_path):
+        img = np.zeros((2, 2, 3), dtype=np.uint8)
+        path = write_png(tmp_path / "rgb.png", img)
+        chunks = parse_png(path)
+        color = chunks[b"IHDR"][0][9]
+        assert color == 2
+
+    def test_rejects_wrong_dtype(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_png(tmp_path / "x.png", np.zeros((2, 2), dtype=np.float32))
+
+    def test_rejects_wrong_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_png(tmp_path / "x.png", np.zeros((2, 2, 4), dtype=np.uint8))
+
+
+class TestClipRendering:
+    def test_clip_to_png_scales(self, tmp_path):
+        clip = np.zeros((8, 8), dtype=np.uint8)
+        clip[:, 2:5] = 1
+        path = clip_to_png(tmp_path / "clip.png", clip, scale=4)
+        chunks = parse_png(path)
+        width, height = struct.unpack(">II", chunks[b"IHDR"][0][:8])
+        assert (width, height) == (32, 32)
+
+    def test_clip_to_png_mask_shape_checked(self, tmp_path):
+        clip = np.zeros((8, 8), dtype=np.uint8)
+        clip[0, 0] = 1
+        with pytest.raises(ValueError):
+            clip_to_png(tmp_path / "x.png", clip, mask=np.zeros((4, 4), dtype=bool))
+
+    def test_grid_sheet_layout(self, tmp_path):
+        clips = [np.eye(8, dtype=np.uint8)] * 5
+        path = grid_sheet(tmp_path / "sheet.png", clips, columns=3, scale=1, gutter=2)
+        chunks = parse_png(path)
+        width, height = struct.unpack(">II", chunks[b"IHDR"][0][:8])
+        assert width == 3 * 8 + 2 * 2
+        assert height == 2 * 8 + 2
+
+    def test_grid_sheet_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            grid_sheet(tmp_path / "x.png", [])

@@ -1,0 +1,77 @@
+"""Unit tests for uniqueness, library summaries and legality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.drc import DrcEngine, MinWidthRule, NonEmptyRule
+from repro.metrics import (
+    count_legal,
+    legality_rate,
+    split_legal,
+    success_percent,
+    summarize_library,
+    unique_clips,
+    unique_count,
+)
+
+
+def wire(width, size=12):
+    img = np.zeros((size, size), dtype=np.uint8)
+    img[:, 2 : 2 + width] = 1
+    return img
+
+
+@pytest.fixture
+def engine():
+    return DrcEngine(name="t", rules=(NonEmptyRule(), MinWidthRule("h", 3)))
+
+
+class TestUniqueness:
+    def test_unique_count(self):
+        clips = [wire(3), wire(3), wire(4)]
+        assert unique_count(clips) == 2
+
+    def test_unique_clips_keep_first_occurrence_order(self):
+        clips = [wire(4), wire(3), wire(4)]
+        kept = unique_clips(clips)
+        assert len(kept) == 2
+        np.testing.assert_array_equal(kept[0], wire(4))
+
+    def test_empty(self):
+        assert unique_count([]) == 0
+        assert unique_clips([]) == []
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        clips = [wire(3), wire(4), wire(4)]
+        summary = summarize_library(clips)
+        assert summary.count == 3
+        assert summary.unique == 2
+        assert summary.h2 > 0
+        assert 0 < summary.mean_density < 1
+        assert len(summary.row()) == 5
+
+    def test_empty_summary(self):
+        summary = summarize_library([])
+        assert summary.count == 0
+        assert summary.unique == 0
+
+
+class TestLegality:
+    def test_count_and_rate(self, engine):
+        clips = [wire(3), wire(2), wire(5)]
+        assert count_legal(clips, engine) == 2
+        assert legality_rate(clips, engine) == pytest.approx(2 / 3)
+        assert legality_rate([], engine) == 0.0
+
+    def test_success_percent_is_table3_units(self, engine):
+        clips = [wire(3), wire(2)]
+        assert success_percent(clips, engine) == pytest.approx(50.0)
+
+    def test_split_legal(self, engine):
+        clips = [wire(3), wire(2), wire(5)]
+        legal, illegal = split_legal(clips, engine)
+        assert len(legal) == 2
+        assert len(illegal) == 1
+        np.testing.assert_array_equal(illegal[0], wire(2))

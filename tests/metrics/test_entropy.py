@@ -1,0 +1,67 @@
+"""Unit tests for H1/H2 entropy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import class_entropy, entropy_from_counts, h1_entropy, h2_entropy
+
+
+def wire(offset, width=3, size=16):
+    img = np.zeros((size, size), dtype=np.uint8)
+    img[:, offset : offset + width] = 1
+    return img
+
+
+class TestEntropyFromCounts:
+    def test_uniform_distribution_is_log2_n(self):
+        assert entropy_from_counts([5, 5, 5, 5]) == pytest.approx(2.0)
+
+    def test_single_class_is_zero(self):
+        assert entropy_from_counts([42]) == 0.0
+
+    def test_empty_and_zero_counts(self):
+        assert entropy_from_counts([]) == 0.0
+        assert entropy_from_counts([0, 0]) == 0.0
+
+    def test_zero_counts_ignored(self):
+        assert entropy_from_counts([3, 0, 3]) == pytest.approx(1.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_from_counts([1, -1])
+
+    def test_skewed_less_than_uniform(self):
+        assert entropy_from_counts([9, 1]) < entropy_from_counts([5, 5])
+
+
+class TestH1H2:
+    def test_starter_style_library_h2_is_log2_n(self):
+        # n all-distinct geometry classes -> H2 = log2(n), the paper's
+        # starter-row value (20 starters -> 4.32).
+        clips = [wire(offset) for offset in range(1, 9)]
+        assert h2_entropy(clips) == pytest.approx(3.0)
+
+    def test_h1_collapses_same_topology_classes(self):
+        # Same complexity (one wire), different offsets: H1 sees one class.
+        clips = [wire(offset) for offset in range(1, 9)]
+        assert h1_entropy(clips) == 0.0
+
+    def test_h2_distinguishes_widths_h1_does_not(self):
+        clips = [wire(4, width=3), wire(4, width=5)]
+        assert h1_entropy(clips) == 0.0
+        assert h2_entropy(clips) == pytest.approx(1.0)
+
+    def test_h1_distinguishes_topology_complexity(self):
+        two_wires = np.zeros((16, 16), dtype=np.uint8)
+        two_wires[:, 2:5] = 1
+        two_wires[:, 10:13] = 1
+        clips = [wire(2), two_wires]
+        assert h1_entropy(clips) == pytest.approx(1.0)
+
+    def test_empty_library(self):
+        assert h1_entropy([]) == 0.0
+        assert h2_entropy([]) == 0.0
+
+    def test_class_entropy_custom_key(self):
+        clips = [wire(1), wire(2), wire(3)]
+        assert class_entropy(clips, lambda c: 0) == 0.0

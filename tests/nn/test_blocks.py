@@ -1,0 +1,87 @@
+"""Unit tests for composite blocks (ResBlock, attention, time embedding)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.blocks import ResBlock, SelfAttention2d, TimeMlp, sinusoidal_embedding
+
+
+class TestSinusoidalEmbedding:
+    def test_shape(self):
+        emb = sinusoidal_embedding(np.array([0, 5, 10]), 16)
+        assert emb.shape == (3, 16)
+
+    def test_values_bounded(self):
+        emb = sinusoidal_embedding(np.arange(100), 32)
+        assert np.abs(emb).max() <= 1.0 + 1e-6
+
+    def test_distinct_timesteps_distinct_embeddings(self):
+        emb = sinusoidal_embedding(np.array([1, 2]), 16)
+        assert not np.allclose(emb[0], emb[1])
+
+    def test_t_zero_is_cos_one_sin_zero(self):
+        emb = sinusoidal_embedding(np.array([0]), 8)
+        np.testing.assert_allclose(emb[0, :4], 0.0, atol=1e-7)  # sin(0)
+        np.testing.assert_allclose(emb[0, 4:], 1.0, atol=1e-7)  # cos(0)
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            sinusoidal_embedding(np.array([0]), 7)
+
+
+class TestResBlockStructure:
+    def test_identity_at_init(self):
+        """Zero-initialized conv2 makes a fresh ResBlock the identity map
+        (plus skip projection when channels change)."""
+        rng = np.random.default_rng(0)
+        block = ResBlock(4, 4, 8, 2, rng)
+        x = rng.normal(size=(2, 4, 6, 6)).astype(np.float32)
+        t_emb = rng.normal(size=(2, 8)).astype(np.float32)
+        np.testing.assert_allclose(block(x, t_emb), x, atol=1e-6)
+
+    def test_channel_projection_shape(self):
+        rng = np.random.default_rng(0)
+        block = ResBlock(4, 8, 8, 2, rng)
+        x = rng.normal(size=(1, 4, 6, 6)).astype(np.float32)
+        t_emb = rng.normal(size=(1, 8)).astype(np.float32)
+        assert block(x, t_emb).shape == (1, 8, 6, 6)
+
+    def test_timestep_bias_shifts_output(self):
+        rng = np.random.default_rng(1)
+        block = ResBlock(4, 4, 8, 2, rng)
+        for _, p in block.named_parameters():
+            p.data[...] = rng.normal(0, 0.2, size=p.data.shape).astype(np.float32)
+        x = rng.normal(size=(1, 4, 6, 6)).astype(np.float32)
+        out_a = block(x, np.zeros((1, 8), dtype=np.float32))
+        out_b = block(x, np.ones((1, 8), dtype=np.float32))
+        assert not np.allclose(out_a, out_b)
+
+
+class TestAttentionStructure:
+    def test_identity_at_init(self):
+        """Zero-initialized output projection makes attention the identity."""
+        rng = np.random.default_rng(0)
+        attn = SelfAttention2d(8, 4, rng)
+        x = rng.normal(size=(2, 8, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(attn(x), x, atol=1e-6)
+
+    def test_global_receptive_field(self):
+        """Perturbing one pixel influences every output position."""
+        rng = np.random.default_rng(1)
+        attn = SelfAttention2d(8, 4, rng)
+        for _, p in attn.named_parameters():
+            p.data[...] = rng.normal(0, 0.3, size=p.data.shape).astype(np.float32)
+        x = rng.normal(size=(1, 8, 4, 4)).astype(np.float32)
+        base = attn(x)
+        x2 = x.copy()
+        x2[0, :, 0, 0] += 1.0
+        moved = attn(x2)
+        delta = np.abs(moved - base).sum(axis=1)[0]
+        assert (delta > 1e-6).mean() > 0.9  # nearly every position changed
+
+
+class TestTimeMlp:
+    def test_output_dim_is_twice_input(self):
+        mlp = TimeMlp(16, np.random.default_rng(0))
+        out = mlp(np.array([1, 2, 3]))
+        assert out.shape == (3, 32)

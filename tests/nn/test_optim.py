@@ -1,0 +1,96 @@
+"""Unit tests for Adam, EMA and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Conv2d, Ema, Parameter, clip_grad_norm, global_grad_norm
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0], dtype=np.float32))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad += 2.0 * p.data  # d/dx ||x||^2
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-2)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()  # zero gradient: only decay acts
+        opt.step()
+        assert abs(float(p.data[0])) < 1.0
+
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's bias correction makes the first step ~= lr * sign(grad).
+        p = Parameter(np.array([0.0], dtype=np.float32))
+        opt = Adam([p], lr=0.05)
+        p.grad[...] = 3.0
+        opt.step()
+        assert float(p.data[0]) == pytest.approx(-0.05, rel=1e-3)
+
+
+class TestEma:
+    def make_module(self):
+        return Conv2d(1, 1, 3, np.random.default_rng(0))
+
+    def test_tracks_slow_average(self):
+        module = self.make_module()
+        ema = Ema(module, decay=0.5)
+        original = module.weight.data.copy()
+        module.weight.data[...] = original + 1.0
+        ema.update()
+        ema.swap_in()
+        np.testing.assert_allclose(module.weight.data, original + 0.5, atol=1e-6)
+        ema.swap_out()
+        np.testing.assert_allclose(module.weight.data, original + 1.0, atol=1e-6)
+
+    def test_double_swap_in_rejected(self):
+        module = self.make_module()
+        ema = Ema(module)
+        ema.swap_in()
+        with pytest.raises(RuntimeError):
+            ema.swap_in()
+
+    def test_swap_out_without_in_rejected(self):
+        with pytest.raises(RuntimeError):
+            Ema(self.make_module()).swap_out()
+
+    def test_copy_to_other_module(self):
+        module = self.make_module()
+        ema = Ema(module, decay=0.9)
+        target = self.make_module()
+        ema.copy_to(target)
+        np.testing.assert_array_equal(target.weight.data, module.weight.data)
+
+    def test_decay_validation(self):
+        with pytest.raises(ValueError):
+            Ema(self.make_module(), decay=1.0)
+
+
+class TestClipping:
+    def test_norm_computation(self):
+        p1 = Parameter(np.zeros(1))
+        p2 = Parameter(np.zeros(1))
+        p1.grad[...] = 3.0
+        p2.grad[...] = 4.0
+        assert global_grad_norm([p1, p2]) == pytest.approx(5.0)
+
+    def test_clip_scales_down_only(self):
+        p = Parameter(np.zeros(2))
+        p.grad[...] = [3.0, 4.0]
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert global_grad_norm([p]) == pytest.approx(1.0)
+
+    def test_clip_noop_below_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad[...] = [0.3, 0.4]
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])

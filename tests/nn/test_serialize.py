@@ -1,0 +1,40 @@
+"""Unit tests for checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, load_into, load_module_state, save_module
+
+
+def make_module(seed=0):
+    return Conv2d(1, 2, 3, np.random.default_rng(seed))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        module = make_module(seed=1)
+        path = tmp_path / "ckpt.npz"
+        save_module(module, path, meta={"role": "test", "steps": 5})
+        fresh = make_module(seed=2)
+        meta = load_into(fresh, path)
+        assert meta == {"role": "test", "steps": 5}
+        np.testing.assert_array_equal(fresh.weight.data, module.weight.data)
+        np.testing.assert_array_equal(fresh.bias.data, module.bias.data)
+
+    def test_meta_defaults_to_empty(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_module(make_module(), path)
+        _, meta = load_module_state(path)
+        assert meta == {}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "ckpt.npz"
+        save_module(make_module(), path)
+        assert path.exists()
+
+    def test_load_into_wrong_architecture_fails(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_module(make_module(), path)
+        other = Conv2d(2, 2, 3, np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_into(other, path)

@@ -1,0 +1,113 @@
+"""Unit tests for the UNet architecture and module plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import TimeUnet, UNetConfig
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        image_size=8,
+        base_channels=8,
+        channel_mults=(1, 2),
+        num_res_blocks=1,
+        groups=4,
+        time_dim=8,
+        attention=False,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return UNetConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_image_size_divisibility(self):
+        with pytest.raises(ValueError, match="divisible"):
+            UNetConfig(image_size=10, channel_mults=(1, 2, 2), groups=4,
+                       base_channels=8)
+
+    def test_group_divisibility(self):
+        with pytest.raises(ValueError, match="groups"):
+            UNetConfig(image_size=8, base_channels=6, groups=4)
+
+    def test_level_channels(self):
+        cfg = tiny_config(base_channels=8, channel_mults=(1, 2, 4))
+        assert cfg.level_channels == (8, 16, 32)
+
+
+class TestForward:
+    @pytest.mark.parametrize("mults", [(1,), (1, 2), (1, 2, 2)])
+    def test_output_shape_matches_input(self, mults):
+        cfg = tiny_config(channel_mults=mults)
+        net = TimeUnet(cfg)
+        x = np.zeros((3, 1, 8, 8), dtype=np.float32)
+        out = net.forward(x, np.array([0, 1, 2]))
+        assert out.shape == x.shape
+
+    def test_zero_head_makes_initial_output_zero(self):
+        net = TimeUnet(tiny_config())
+        x = np.random.default_rng(0).normal(size=(2, 1, 8, 8)).astype(np.float32)
+        out = net.forward(x, np.array([1, 2]))
+        np.testing.assert_array_equal(out, np.zeros_like(out))
+
+    def test_timestep_conditioning_changes_output(self):
+        net = TimeUnet(tiny_config())
+        rng = np.random.default_rng(1)
+        for _, p in net.named_parameters():
+            p.data[...] = rng.normal(0, 0.2, size=p.data.shape).astype(np.float32)
+        x = rng.normal(size=(1, 1, 8, 8)).astype(np.float32)
+        out_a = net.forward(x, np.array([0]))
+        out_b = net.forward(x, np.array([9]))
+        assert not np.allclose(out_a, out_b)
+
+    def test_backward_before_forward_rejected(self):
+        net = TimeUnet(tiny_config())
+        with pytest.raises(RuntimeError):
+            net.backward(np.zeros((1, 1, 8, 8), dtype=np.float32))
+
+    def test_backward_consumes_tape(self):
+        net = TimeUnet(tiny_config())
+        x = np.zeros((1, 1, 8, 8), dtype=np.float32)
+        net.forward(x, np.array([0]))
+        net.backward(np.zeros_like(x))
+        with pytest.raises(RuntimeError):
+            net.backward(np.zeros_like(x))
+
+
+class TestParameters:
+    def test_num_parameters_positive_and_scales_with_width(self):
+        small = TimeUnet(tiny_config(base_channels=8)).num_parameters()
+        large = TimeUnet(tiny_config(base_channels=16, groups=8)).num_parameters()
+        assert 0 < small < large
+
+    def test_state_dict_roundtrip(self):
+        net_a = TimeUnet(tiny_config(seed=1))
+        net_b = TimeUnet(tiny_config(seed=2))
+        net_b.load_state_dict(net_a.state_dict())
+        x = np.random.default_rng(0).normal(size=(1, 1, 8, 8)).astype(np.float32)
+        t = np.array([3])
+        np.testing.assert_array_equal(net_a.forward(x, t), net_b.forward(x, t))
+
+    def test_state_dict_mismatch_rejected(self):
+        net = TimeUnet(tiny_config())
+        state = net.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_rejected(self):
+        net = TimeUnet(tiny_config())
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self):
+        net = TimeUnet(tiny_config())
+        x = np.ones((1, 1, 8, 8), dtype=np.float32)
+        net.forward(x, np.array([0]))
+        net.backward(np.ones_like(x))
+        net.zero_grad()
+        assert all(not p.grad.any() for p in net.parameters())

@@ -1,0 +1,78 @@
+"""Unit tests for the command-line interface (library-level commands)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_clips
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["generate", "--out", "x.npz"]).command == "generate"
+        assert parser.parse_args(["drc", "x.npz"]).command == "drc"
+        assert parser.parse_args(["table1"]).command == "table1"
+        assert parser.parse_args(["zoo", "list"]).action == "list"
+
+
+class TestGenerateAndDrc:
+    def test_generate_writes_library(self, tmp_path, capsys):
+        out = tmp_path / "lib.npz"
+        code = main(["generate", "-n", "4", "--out", str(out), "--seed", "3"])
+        assert code == 0
+        clips, meta = load_clips(out)
+        assert len(clips) == 4
+        assert meta["deck"] == "advanced"
+        assert "DR-clean" in capsys.readouterr().out
+
+    def test_drc_passes_on_generated_library(self, tmp_path, capsys):
+        out = tmp_path / "lib.npz"
+        main(["generate", "-n", "3", "--out", str(out)])
+        code = main(["drc", str(out)])
+        assert code == 0
+        assert "3/3" in capsys.readouterr().out
+
+    def test_drc_fails_on_wrong_deck_clips(self, tmp_path, capsys):
+        from repro.io import save_clips
+
+        bad = np.zeros((32, 32), dtype=np.uint8)
+        bad[:, 4:6] = 1  # width 2: violates every deck
+        path = tmp_path / "bad.npz"
+        save_clips(path, [bad])
+        code = main(["drc", str(path)])
+        assert code == 1
+
+    def test_squish_command(self, tmp_path, capsys):
+        out = tmp_path / "lib.npz"
+        main(["generate", "-n", "1", "--out", str(out)])
+        code = main(["squish", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "complexity" in captured
+        assert "dx:" in captured
+
+    def test_render_ascii(self, tmp_path, capsys):
+        out = tmp_path / "lib.npz"
+        main(["generate", "-n", "1", "--out", str(out)])
+        code = main(["render", str(out)])
+        assert code == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_render_png(self, tmp_path):
+        out = tmp_path / "lib.npz"
+        main(["generate", "-n", "1", "--out", str(out)])
+        png = tmp_path / "clip.png"
+        code = main(["render", str(out), "--out", str(png)])
+        assert code == 0
+        assert png.exists()
+
+    def test_zoo_list(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        code = main(["zoo", "list"])
+        assert code == 0
+        assert "no artifacts" in capsys.readouterr().out

@@ -1,0 +1,64 @@
+"""Unit tests for zoo corpora and artifact plumbing (no training here)."""
+
+import numpy as np
+import pytest
+
+from repro.zoo import (
+    EXPERIMENT_GRID,
+    VARIANTS,
+    baseline_training_set,
+    experiment_deck,
+    model_config,
+    pretrain_corpus,
+    starter_patterns,
+)
+
+
+class TestCorpora:
+    def test_experiment_grid_is_32px(self):
+        assert EXPERIMENT_GRID.shape == (32, 32)
+
+    def test_starters_are_deterministic_and_clean(self):
+        a = starter_patterns(5)
+        b = starter_patterns(5)
+        engine = experiment_deck().engine()
+        for clip_a, clip_b in zip(a, b):
+            np.testing.assert_array_equal(clip_a, clip_b)
+            assert engine.is_clean(clip_a)
+
+    def test_pretrain_corpus_is_from_other_node(self):
+        clips = pretrain_corpus(5)
+        assert len(clips) == 5
+        assert clips[0].shape == EXPERIMENT_GRID.shape
+        # The pretraining node uses pitch 10 / widths {2,4,6}: its clips
+        # must NOT all satisfy the advanced (target) deck.
+        engine = experiment_deck().engine()
+        assert not all(engine.is_clean(clip) for clip in clips)
+
+    def test_baseline_training_set_deterministic(self):
+        a = baseline_training_set(4)
+        b = baseline_training_set(4)
+        for clip_a, clip_b in zip(a, b):
+            np.testing.assert_array_equal(clip_a, clip_b)
+
+
+class TestArtifactPlumbing:
+    def test_variants_declared(self):
+        assert set(VARIANTS) == {"sd1", "sd2"}
+
+    def test_model_config_differs_between_variants(self):
+        sd1 = model_config("sd1")
+        sd2 = model_config("sd2")
+        assert sd1.base_channels != sd2.base_channels
+        assert sd1.seed != sd2.seed
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            model_config("sd3")
+
+    def test_artifacts_dir_env_override(self, tmp_path, monkeypatch):
+        from repro.zoo import artifacts_dir
+
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "alt"))
+        assert artifacts_dir() == tmp_path / "alt"
+        assert (tmp_path / "alt").exists()
