@@ -35,6 +35,16 @@ from .core.pipeline import PatternPaint, PatternPaintConfig, PatternPaintResult
 from .core.template_denoise import TemplateDenoiseConfig, template_denoise
 from .drc.decks import RuleDeck, advanced_deck, basic_deck, complex_deck, deck_by_name
 from .drc.engine import DrcEngine
+from .engine import (
+    BatchExecutor,
+    ExecutorConfig,
+    GenerationBatch,
+    GenerationRequest,
+    get_backend,
+    list_backends,
+    register_backend,
+    run_generation,
+)
 from .geometry.grid import DEFAULT_GRID, Grid
 from .geometry.squish import SquishPattern, squish, unsquish
 from .metrics.diversity import summarize_library
@@ -43,8 +53,12 @@ from .metrics.entropy import h1_entropy, h2_entropy
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchExecutor",
     "DEFAULT_GRID",
     "DrcEngine",
+    "ExecutorConfig",
+    "GenerationBatch",
+    "GenerationRequest",
     "Grid",
     "PatternLibrary",
     "PatternPaint",
@@ -58,8 +72,12 @@ __all__ = [
     "basic_deck",
     "complex_deck",
     "deck_by_name",
+    "get_backend",
     "h1_entropy",
     "h2_entropy",
+    "list_backends",
+    "register_backend",
+    "run_generation",
     "squish",
     "summarize_library",
     "template_denoise",

@@ -15,8 +15,10 @@ from .rule_based import (
     starter_set,
 )
 from .solver import DeckParams, SolveResult, SolverSettings, SquishLegalizer
+from .topologies import random_topology
 
 __all__ = [
+    "random_topology",
     "CupConfig",
     "CupGenerator",
     "CupModel",

@@ -91,6 +91,12 @@ class TrackPatternGenerator:
         for _ in range(self.config.max_retries):
             clip = self._construct(rng)
             if not self.config.verify or self._engine.is_clean(clip):
+                if self.config.verify:
+                    # Memoise only the accepted clip (rejected retries would
+                    # pollute the shared FIFO store): the downstream engine
+                    # re-check of this clip becomes a cache hit.
+                    cache = self._engine.cache
+                    cache.put(cache.key(clip), True)
                 return clip
         raise RuntimeError(
             "rule-based generator failed to produce a clean clip within "

@@ -232,6 +232,11 @@ class SquishLegalizer:
         for z in candidates:
             clip = self._to_clip(topology, z, width, height)
             if clip is not None and self._engine.is_clean(clip):
+                # Memoise only the *accepted* clip (rejected one-offs would
+                # pollute the shared FIFO store): the downstream engine
+                # re-check of this clip becomes a cache hit.
+                cache = self._engine.cache
+                cache.put(cache.key(clip), True)
                 return SolveResult(
                     True, clip, time.time() - start, "legalized", attempts
                 )

@@ -16,12 +16,16 @@ diffusion model and a rule deck:
    representative selection under a density constraint, with masks advancing
    sequentially per pattern.
 
-All stages are timed per sample, which is what Table II reports.
+The denoise -> DRC -> dedup stage and the model-batch chunking are not
+implemented here: they route through the shared
+:class:`~repro.engine.executor.BatchExecutor`, which adds hash-keyed DRC
+caching, deterministic per-job rng splitting and optional worker pools
+(``PatternPaintConfig.jobs``).  All stages are timed per sample, which is
+what Table II reports.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -29,11 +33,12 @@ import numpy as np
 from ..diffusion.ddpm import Ddpm, clips_to_model_space
 from ..diffusion.inpaint import InpaintConfig, inpaint
 from ..drc.decks import RuleDeck
+from ..engine.executor import BatchExecutor, ExecutorConfig
 from ..metrics.entropy import h1_entropy, h2_entropy
 from .library import PatternLibrary
-from .masks import MaskScheduler, NamedMask, all_masks
+from .masks import MaskScheduler, all_masks
 from .selection import density_constraint, select_representative
-from .template_denoise import TemplateDenoiseConfig, template_denoise
+from .template_denoise import TemplateDenoiseConfig
 
 __all__ = ["PatternPaintConfig", "GenerationStats", "PatternPaintResult", "PatternPaint"]
 
@@ -46,6 +51,8 @@ class PatternPaintConfig:
     farm; CPU-scale experiments use single digits and more seeds).
     ``keep_raw`` retains pre-denoise model outputs with their templates so
     the Table III harness can re-score them under different denoisers.
+    ``jobs``/``pool`` configure the executor's denoise/DRC worker pool
+    (1 = serial; results are identical either way).
     """
 
     inpaint: InpaintConfig = field(default_factory=InpaintConfig)
@@ -58,6 +65,8 @@ class PatternPaintConfig:
     explained_variance: float = 0.9
     use_horizontal_masks: bool = True
     keep_raw: bool = False
+    jobs: int = 1
+    pool: str = "thread"
 
 
 @dataclass
@@ -118,12 +127,43 @@ class PatternPaint:
         self.deck = deck
         self.config = config or PatternPaintConfig()
         self.engine = deck.engine()
+        self.executor = BatchExecutor(
+            self.engine,
+            ExecutorConfig(
+                model_batch=self.config.model_batch,
+                jobs=self.config.jobs,
+                pool=self.config.pool,
+                denoise=self.config.denoise,
+            ),
+        )
         size = ddpm.model.config.image_size
         self._shape = (size, size)
+
+    @property
+    def clip_shape(self) -> tuple[int, int]:
+        """(H, W) of the clips this pipeline generates."""
+        return self._shape
 
     # ------------------------------------------------------------------
     # Low-level stages
     # ------------------------------------------------------------------
+    @staticmethod
+    def build_jobs(
+        templates: list[np.ndarray],
+        masks: list[np.ndarray],
+        variations: int,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Enumerate template x mask x variation inpainting jobs, in the
+        paper's initial-generation order."""
+        jobs_t: list[np.ndarray] = []
+        jobs_m: list[np.ndarray] = []
+        for template in templates:
+            for mask in masks:
+                for _ in range(variations):
+                    jobs_t.append(np.asarray(template))
+                    jobs_m.append(np.asarray(mask, dtype=bool))
+        return jobs_t, jobs_m
+
     def inpaint_batch(
         self,
         templates: list[np.ndarray],
@@ -133,32 +173,30 @@ class PatternPaint:
         """Run inpainting for parallel (template, mask) jobs.
 
         Returns float model outputs (N entries, each (H, W) in [-1, 1]) and
-        the wall-clock seconds spent in the sampler.
+        the wall-clock seconds spent in the sampler.  Chunking into model
+        batches is the executor's job.
         """
-        if len(templates) != len(masks):
-            raise ValueError("templates and masks must pair up")
-        outputs: list[np.ndarray] = []
-        seconds = 0.0
-        batch = self.config.model_batch
-        for start in range(0, len(templates), batch):
-            chunk_t = templates[start : start + batch]
-            chunk_m = masks[start : start + batch]
+
+        def model_fn(
+            chunk_t: list[np.ndarray],
+            chunk_m: list[np.ndarray],
+            chunk_rng: np.random.Generator,
+        ) -> list[np.ndarray]:
             known = clips_to_model_space(chunk_t)
             mask_arr = np.stack([np.asarray(m, dtype=bool) for m in chunk_m])[
                 :, None
             ]
-            t0 = time.perf_counter()
             x = inpaint(
                 self.ddpm.model,
                 self.ddpm.schedule,
                 known,
                 mask_arr,
-                rng,
+                chunk_rng,
                 self.config.inpaint,
             )
-            seconds += time.perf_counter() - t0
-            outputs.extend(x[:, 0])
-        return outputs, seconds
+            return list(x[:, 0])
+
+        return self.executor.run_model_batched(model_fn, templates, masks, rng)
 
     def denoise_and_check(
         self,
@@ -168,21 +206,19 @@ class PatternPaint:
         stats: GenerationStats,
         library: PatternLibrary,
     ) -> None:
-        """Template-denoise, DRC-check and admit clean+new clips."""
-        for raw, template in zip(raw_outputs, templates):
-            t0 = time.perf_counter()
-            clean = template_denoise(raw, template, self.config.denoise, rng)
-            stats.denoise_seconds += time.perf_counter() - t0
+        """Template-denoise, DRC-check and admit clean+new clips.
 
-            t0 = time.perf_counter()
-            is_legal = self.engine.is_clean(clean)
-            stats.drc_seconds += time.perf_counter() - t0
-
-            stats.generated += 1
-            if is_legal:
-                stats.legal += 1
-                if library.add(clean):
-                    stats.admitted += 1
+        Routed through the shared executor: per-job spawned rng streams,
+        cached DRC, optional worker pool.
+        """
+        outcome = self.executor.postprocess(
+            raw_outputs, list(templates), rng, library=library
+        )
+        stats.generated += len(outcome.clips)
+        stats.legal += int(outcome.legal.sum())
+        stats.admitted += outcome.admitted
+        stats.denoise_seconds += outcome.timings.denoise_seconds
+        stats.drc_seconds += outcome.timings.drc_seconds
 
     # ------------------------------------------------------------------
     # Stage 2: initial generation
@@ -200,14 +236,8 @@ class PatternPaint:
         non-empty only when ``config.keep_raw`` is set.
         """
         v = variations_per_mask or self.config.variations_per_mask
-        masks = all_masks(self._shape)
-        jobs_t: list[np.ndarray] = []
-        jobs_m: list[np.ndarray] = []
-        for starter in starters:
-            for named in masks:
-                for _ in range(v):
-                    jobs_t.append(np.asarray(starter))
-                    jobs_m.append(named.mask)
+        masks = [named.mask for named in all_masks(self._shape)]
+        jobs_t, jobs_m = self.build_jobs(starters, masks, v)
 
         stats = GenerationStats(label="init")
         library = PatternLibrary(name="patternpaint")

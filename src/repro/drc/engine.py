@@ -4,20 +4,35 @@ This is the reproduction's stand-in for the industry sign-off checker the
 paper uses on Intel 18A.  It is exact (no sampling) at pixel resolution and
 deterministic; legality in all experiments means
 :meth:`DrcEngine.is_clean` under the experiment's deck.
+
+Batch entry points (:meth:`DrcEngine.check_batch`, :meth:`legal_mask`,
+:meth:`legality_rate`) are memoised through a content-hash
+:class:`~repro.drc.cache.DrcCache`: legality is a pure function of the
+pixels and the deck, so repeated checks of identical clips — common in the
+iterative generation loop and across experiment harnesses — cost one hash
+instead of a full rule sweep.  Batches can additionally fan out over a
+thread or process pool for the initial (uncached) sweep.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from .cache import DrcCache
 from .measure import ClipMeasurements
 from .rules import Rule
 from .violations import DrcReport, Violation
 
 __all__ = ["DrcEngine"]
+
+
+def _is_clean_uncached(engine: "DrcEngine", clip: np.ndarray) -> bool:
+    """Module-level worker so process pools can pickle the call."""
+    return engine.is_clean(clip)
 
 
 @dataclass(frozen=True)
@@ -62,19 +77,111 @@ class DrcEngine:
                 return found[0]
         return None
 
-    def legal_mask(self, clips: Sequence[np.ndarray] | np.ndarray) -> np.ndarray:
+    # ------------------------------------------------------------------
+    # Batch interface (cached)
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> DrcCache:
+        """The engine's content-hash legality memo (lazily created).
+
+        Backed by a process-wide store keyed on the deck fingerprint, so
+        independently built engines over the same deck share results.
+        """
+        cached = self.__dict__.get("_cache")
+        if cached is None:
+            cached = DrcCache.for_engine(self)
+            object.__setattr__(self, "_cache", cached)
+        return cached
+
+    def check_batch(
+        self,
+        clips: Sequence[np.ndarray] | np.ndarray,
+        *,
+        jobs: int = 1,
+        pool: str = "thread",
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """Boolean legality per clip, memoised and optionally pooled.
+
+        Duplicate clips within the batch are checked once; previously seen
+        clips (same deck, any engine instance) are cache hits.  ``jobs``
+        > 1 fans the uncached sweep out over a ``"thread"`` or
+        ``"process"`` pool.
+        """
+        clips = list(clips)
+        if not clips:
+            return np.zeros(0, dtype=bool)
+        if not use_cache:
+            verdicts = self._sweep(clips, jobs=jobs, pool=pool)
+            return np.array(verdicts, dtype=bool)
+
+        cache = self.cache
+        keys = [cache.key(clip) for clip in clips]
+        results: dict[str, bool] = {}
+        todo_keys: list[str] = []
+        todo_clips: list[np.ndarray] = []
+        for key, clip in zip(keys, clips):
+            if key in results:
+                continue
+            cached = cache.get(key)
+            if cached is None:
+                results[key] = False  # placeholder; overwritten below
+                todo_keys.append(key)
+                todo_clips.append(clip)
+            else:
+                results[key] = cached
+        if todo_clips:
+            verdicts = self._sweep(todo_clips, jobs=jobs, pool=pool)
+            for key, verdict in zip(todo_keys, verdicts):
+                results[key] = verdict
+                cache.put(key, verdict)
+        return np.array([results[key] for key in keys], dtype=bool)
+
+    def _sweep(
+        self, clips: list[np.ndarray], *, jobs: int, pool: str
+    ) -> list[bool]:
+        """Run the full rule loop over clips, serial or pooled."""
+        if jobs <= 1 or len(clips) <= 1:
+            return [self.is_clean(clip) for clip in clips]
+        if pool == "thread":
+            with ThreadPoolExecutor(max_workers=jobs) as executor:
+                return list(executor.map(self.is_clean, clips))
+        if pool == "process":
+            with ProcessPoolExecutor(max_workers=jobs) as executor:
+                return list(
+                    executor.map(
+                        _is_clean_uncached,
+                        [self] * len(clips),
+                        clips,
+                        chunksize=max(1, len(clips) // jobs),
+                    )
+                )
+        raise ValueError(f"unknown pool kind {pool!r} (use 'thread' or 'process')")
+
+    def legal_mask(
+        self,
+        clips: Sequence[np.ndarray] | np.ndarray,
+        *,
+        jobs: int = 1,
+        pool: str = "thread",
+        use_cache: bool = True,
+    ) -> np.ndarray:
         """Boolean legality per clip for a batch (stacked array or list)."""
-        return np.array([self.is_clean(clip) for clip in clips], dtype=bool)
+        return self.check_batch(clips, jobs=jobs, pool=pool, use_cache=use_cache)
 
     def filter_clean(
         self, clips: Iterable[np.ndarray]
     ) -> list[np.ndarray]:
         """The subset of clips that pass the deck, order preserved."""
-        return [clip for clip in clips if self.is_clean(clip)]
+        clips = list(clips)
+        mask = self.check_batch(clips)
+        return [clip for clip, ok in zip(clips, mask) if ok]
 
-    def legality_rate(self, clips: Sequence[np.ndarray]) -> float:
+    def legality_rate(
+        self, clips: Sequence[np.ndarray], *, jobs: int = 1
+    ) -> float:
         """Fraction of clips that are DR-clean (0.0 for an empty batch)."""
         clips = list(clips)
         if not clips:
             return 0.0
-        return float(self.legal_mask(clips).mean())
+        return float(self.legal_mask(clips, jobs=jobs).mean())

@@ -1,0 +1,275 @@
+"""Batched, cached execution of generation requests.
+
+:class:`BatchExecutor` owns the *how* of generation that every backend
+shares, regardless of which model proposed the candidates:
+
+* **chunked model batching** — :meth:`run_model_batched` slices arbitrary
+  job lists into model-sized chunks (the paper's GPU-batch discipline,
+  reused by :meth:`repro.core.pipeline.PatternPaint.inpaint_batch`);
+* **pooled post-processing** — the template-denoise and DRC stages are
+  embarrassingly parallel per clip, so ``jobs > 1`` fans them out over a
+  thread or process pool;
+* **content-hash DRC caching** — legality checks go through
+  :meth:`repro.drc.engine.DrcEngine.check_batch`, whose
+  :class:`~repro.drc.cache.DrcCache` makes re-checks of identical clips
+  free across iterations and experiments;
+* **deterministic seeding** — one root :class:`numpy.random.Generator` is
+  split via ``rng.spawn()`` into an independent child per job, so pooled
+  and serial execution produce bit-identical libraries for the same seed.
+
+:func:`run_generation` is the one-call entry point used by the CLI and the
+experiment harnesses.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.library import PatternLibrary
+from ..core.template_denoise import TemplateDenoiseConfig, template_denoise
+from ..drc.engine import DrcEngine
+from ..geometry.raster import validate_clip
+from .registry import GeneratorBackend, get_backend
+from .request import GenerationBatch, GenerationRequest, StageTimings
+
+__all__ = ["ExecutorConfig", "PostprocessResult", "BatchExecutor", "run_generation"]
+
+
+def _denoise_one(
+    raw: np.ndarray,
+    template: np.ndarray | None,
+    config: TemplateDenoiseConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Denoise/validate one candidate (module-level: process-pool safe)."""
+    if template is None:
+        return validate_clip(raw)
+    return template_denoise(raw, template, config, rng)
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Execution knobs shared by every backend.
+
+    ``jobs`` is the worker count for the denoise and DRC stages (1 =
+    serial); ``pool`` selects ``"thread"`` or ``"process"`` workers.
+    ``model_batch`` is the chunk size for :meth:`BatchExecutor.run_model_batched`.
+    """
+
+    model_batch: int = 32
+    jobs: int = 1
+    pool: str = "thread"
+    use_cache: bool = True
+    denoise: TemplateDenoiseConfig = field(default_factory=TemplateDenoiseConfig)
+
+    def __post_init__(self) -> None:
+        if self.model_batch < 1:
+            raise ValueError("model_batch must be positive")
+        if self.jobs < 1:
+            raise ValueError("jobs must be positive")
+        if self.pool not in ("thread", "process"):
+            raise ValueError("pool must be 'thread' or 'process'")
+
+
+@dataclass
+class PostprocessResult:
+    """Outcome of the shared denoise -> DRC -> dedup stage."""
+
+    clips: list[np.ndarray]
+    legal: np.ndarray
+    admitted: int
+    timings: StageTimings
+
+
+class BatchExecutor:
+    """Runs the shared generation machinery against one DRC engine."""
+
+    def __init__(
+        self, engine: DrcEngine, config: ExecutorConfig | None = None
+    ):
+        self.engine = engine
+        self.config = config or ExecutorConfig()
+
+    # ------------------------------------------------------------------
+    # Stage helpers
+    # ------------------------------------------------------------------
+    def run_model_batched(
+        self,
+        model_fn: Callable[
+            [list[np.ndarray], list[np.ndarray], np.random.Generator],
+            Sequence[np.ndarray],
+        ],
+        templates: list[np.ndarray],
+        masks: list[np.ndarray],
+        rng: np.random.Generator,
+    ) -> tuple[list[np.ndarray], float]:
+        """Run ``model_fn`` over (template, mask) jobs in model-sized chunks.
+
+        Returns the concatenated outputs and the wall-clock seconds spent
+        inside the model.
+        """
+        if len(templates) != len(masks):
+            raise ValueError("templates and masks must pair up")
+        outputs: list[np.ndarray] = []
+        seconds = 0.0
+        batch = self.config.model_batch
+        for start in range(0, len(templates), batch):
+            chunk_t = templates[start : start + batch]
+            chunk_m = masks[start : start + batch]
+            t0 = time.perf_counter()
+            outputs.extend(model_fn(chunk_t, chunk_m, rng))
+            seconds += time.perf_counter() - t0
+        return outputs, seconds
+
+    def denoise_batch(
+        self,
+        raws: list[np.ndarray],
+        templates: list[np.ndarray | None],
+        rng: np.random.Generator,
+    ) -> tuple[list[np.ndarray], float]:
+        """Template-denoise (or validate) every candidate.
+
+        Each job gets an independent child generator from ``rng.spawn()``,
+        so the result is identical whether the map runs serially or on a
+        pool.
+        """
+        if len(raws) != len(templates):
+            raise ValueError("raws and templates must pair up")
+        if not raws:
+            return [], 0.0
+        children = rng.spawn(len(raws))
+        config = self.config.denoise
+        t0 = time.perf_counter()
+        jobs = min(self.config.jobs, len(raws))
+        if jobs <= 1:
+            clips = [
+                _denoise_one(raw, template, config, child)
+                for raw, template, child in zip(raws, templates, children)
+            ]
+        else:
+            pool_cls = (
+                ThreadPoolExecutor
+                if self.config.pool == "thread"
+                else ProcessPoolExecutor
+            )
+            with pool_cls(max_workers=jobs) as pool:
+                clips = list(
+                    pool.map(
+                        _denoise_one,
+                        raws,
+                        templates,
+                        [config] * len(raws),
+                        children,
+                    )
+                )
+        return clips, time.perf_counter() - t0
+
+    def check_batch(self, clips: Sequence[np.ndarray]) -> tuple[np.ndarray, float]:
+        """Cached, optionally pooled DRC sweep; returns (mask, seconds)."""
+        t0 = time.perf_counter()
+        mask = self.engine.check_batch(
+            clips,
+            jobs=self.config.jobs,
+            pool=self.config.pool,
+            use_cache=self.config.use_cache,
+        )
+        return mask, time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # The shared post-processing pipeline
+    # ------------------------------------------------------------------
+    def postprocess(
+        self,
+        raws: list[np.ndarray],
+        templates: list[np.ndarray | None],
+        rng: np.random.Generator,
+        *,
+        library: PatternLibrary | None = None,
+    ) -> PostprocessResult:
+        """denoise -> DRC -> dedup, admitting clean+new clips to ``library``."""
+        clips, denoise_seconds = self.denoise_batch(raws, templates, rng)
+        legal, drc_seconds = self.check_batch(clips)
+        admitted = 0
+        if library is not None:
+            for clip, ok in zip(clips, legal):
+                if ok and library.add(clip):
+                    admitted += 1
+        return PostprocessResult(
+            clips=clips,
+            legal=legal,
+            admitted=admitted,
+            timings=StageTimings(
+                denoise_seconds=denoise_seconds, drc_seconds=drc_seconds
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # End-to-end
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        request: GenerationRequest,
+        *,
+        backend: GeneratorBackend | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> GenerationBatch:
+        """Propose candidates with the request's backend and post-process."""
+        if backend is None:
+            backend = get_backend(request.backend)
+        rng = rng if rng is not None else request.rng()
+
+        cache = self.engine.cache
+        hits0, misses0 = cache.hits, cache.misses
+
+        t0 = time.perf_counter()
+        proposal = backend.propose(request, rng)
+        generate_seconds = proposal.generate_seconds or (time.perf_counter() - t0)
+
+        library = PatternLibrary(name=backend.name)
+        post = self.postprocess(
+            proposal.raws, proposal.templates, rng, library=library
+        )
+        timings = StageTimings(generate_seconds=generate_seconds)
+        timings.add(post.timings)
+        return GenerationBatch(
+            request=request,
+            backend=backend.name,
+            clips=post.clips,
+            legal=post.legal,
+            library=library,
+            attempts=proposal.attempts,
+            timings=timings,
+            cache_hits=cache.hits - hits0,
+            cache_misses=cache.misses - misses0,
+        )
+
+
+def run_generation(
+    request: GenerationRequest,
+    *,
+    jobs: int = 1,
+    pool: str = "thread",
+    backend: GeneratorBackend | None = None,
+    executor: BatchExecutor | None = None,
+    rng: np.random.Generator | None = None,
+) -> GenerationBatch:
+    """One-call generation: resolve the backend, build an executor, run.
+
+    The DRC engine comes from ``request.deck`` when given, else from the
+    backend's own deck; pass ``executor`` explicitly to reuse one (and its
+    warm DRC cache) across requests.
+    """
+    if backend is None:
+        kwargs = {"deck": request.deck} if request.deck is not None else {}
+        backend = get_backend(request.backend, **kwargs)
+    if executor is None:
+        deck = request.deck if request.deck is not None else backend.deck
+        executor = BatchExecutor(
+            deck.engine(), ExecutorConfig(jobs=jobs, pool=pool)
+        )
+    return executor.run(request, backend=backend, rng=rng)

@@ -1,0 +1,110 @@
+"""The generator-backend registry.
+
+Every pattern generator in the reproduction — PatternPaint inpainting, the
+DiffPattern and CUP baselines, the rule-based track generator and the
+squish-solver path — is exposed behind one :class:`GeneratorBackend`
+protocol and looked up by name.  Adding a new generator is a one-file job:
+implement ``propose`` and call :func:`register_backend` (or use it as a
+decorator); the executor, CLI and experiment harnesses pick it up with no
+further wiring.
+
+Factories, not instances, are registered: heavyweight state (zoo models)
+is only materialized when :func:`get_backend` is actually called.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from .request import CandidateBatch, GenerationRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..drc.decks import RuleDeck
+
+__all__ = [
+    "GeneratorBackend",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+]
+
+
+@runtime_checkable
+class GeneratorBackend(Protocol):
+    """What the execution engine needs from a pattern generator."""
+
+    #: Registry name (``request.backend``).
+    name: str
+
+    @property
+    def deck(self) -> "RuleDeck":
+        """The rule deck this backend generates against."""
+        ...
+
+    def propose(
+        self, request: GenerationRequest, rng: np.random.Generator
+    ) -> CandidateBatch:
+        """Produce candidates for a request, consuming ``rng``."""
+        ...
+
+
+_REGISTRY: dict[str, Callable[..., GeneratorBackend]] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in adapters exactly once (registers on import)."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        from . import backends  # noqa: F401  (import side effect: registration)
+
+        # Only marked loaded on success, so a transient import failure is
+        # re-raised on the next call instead of leaving the registry empty.
+        _BUILTINS_LOADED = True
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., GeneratorBackend] | None = None,
+    *,
+    overwrite: bool = False,
+):
+    """Register a backend factory under ``name``.
+
+    Usable directly (``register_backend("x", make_x)``) or as a decorator
+    over the factory.  Duplicate names are rejected unless ``overwrite``.
+    """
+
+    def _register(fn: Callable[..., GeneratorBackend]):
+        if not overwrite and name in _REGISTRY:
+            raise ValueError(f"backend {name!r} is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def get_backend(name: str, **kwargs) -> GeneratorBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Keyword arguments are forwarded to the factory (deck, settings,
+    models, ...); each factory documents its own.
+    """
+    _ensure_builtins()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {list_backends()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def list_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)

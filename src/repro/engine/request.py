@@ -1,0 +1,157 @@
+"""Work units of the generation engine.
+
+A :class:`GenerationRequest` describes *what* to generate — which backend,
+how many attempts, under which deck, from which templates/masks and seed —
+without saying anything about *how* (batching, pooling, caching live in
+:class:`~repro.engine.executor.BatchExecutor`).  Backends answer a request
+with a :class:`CandidateBatch` of raw proposals, and the executor turns
+that into a :class:`GenerationBatch`: validated clips, a legality mask, a
+deduplicated library and per-stage wall-clock timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.library import PatternLibrary
+    from ..drc.decks import RuleDeck
+
+__all__ = [
+    "GenerationRequest",
+    "CandidateBatch",
+    "StageTimings",
+    "GenerationBatch",
+]
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """One generation job, backend-agnostic.
+
+    ``count`` is the number of *attempts*; backends that legalize
+    internally (solver-based baselines) may propose fewer candidates.
+    ``templates``/``masks`` seed inpainting-style backends and are ignored
+    by the others; ``params`` carries backend-specific knobs.
+    """
+
+    backend: str
+    count: int
+    seed: int = 0
+    deck: "RuleDeck | None" = None
+    templates: tuple[np.ndarray, ...] | None = None
+    masks: tuple[np.ndarray, ...] | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be positive")
+        if self.templates is not None:
+            if len(self.templates) == 0:
+                raise ValueError("templates must be non-empty when given")
+            object.__setattr__(self, "templates", tuple(self.templates))
+        if self.masks is not None:
+            if len(self.masks) == 0:
+                raise ValueError("masks must be non-empty when given")
+            object.__setattr__(self, "masks", tuple(self.masks))
+
+    def rng(self) -> np.random.Generator:
+        """The request's root random generator."""
+        return np.random.default_rng(self.seed)
+
+
+@dataclass
+class CandidateBatch:
+    """What a backend proposes for a request, before post-processing.
+
+    ``raws`` may be float model outputs (paired with their ``templates``
+    for template denoising) or already-binary clips (``templates`` entry
+    ``None``; the executor only validates and DRC-checks them).
+    ``attempts`` counts generation attempts, which can exceed
+    ``len(raws)`` for backends whose legalization step already rejects.
+    """
+
+    raws: list[np.ndarray]
+    templates: list[np.ndarray | None]
+    attempts: int
+    generate_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.raws) != len(self.templates):
+            raise ValueError("raws and templates must pair up")
+        if self.attempts < len(self.raws):
+            raise ValueError("attempts cannot be fewer than proposed raws")
+
+    @classmethod
+    def from_clips(
+        cls, clips: list[np.ndarray], *, attempts: int, generate_seconds: float = 0.0
+    ) -> "CandidateBatch":
+        """A proposal of ready-made binary clips (no denoise template)."""
+        return cls(
+            raws=list(clips),
+            templates=[None] * len(clips),
+            attempts=attempts,
+            generate_seconds=generate_seconds,
+        )
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds per engine stage."""
+
+    generate_seconds: float = 0.0
+    denoise_seconds: float = 0.0
+    drc_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.generate_seconds + self.denoise_seconds + self.drc_seconds
+
+    def add(self, other: "StageTimings") -> None:
+        self.generate_seconds += other.generate_seconds
+        self.denoise_seconds += other.denoise_seconds
+        self.drc_seconds += other.drc_seconds
+
+
+@dataclass
+class GenerationBatch:
+    """Executor output: post-processed candidates plus accounting.
+
+    ``clips`` are all validated candidates in proposal order, ``legal``
+    the per-clip DRC verdict, ``library`` the deduplicated legal clips.
+    """
+
+    request: GenerationRequest
+    backend: str
+    clips: list[np.ndarray]
+    legal: np.ndarray
+    library: "PatternLibrary"
+    attempts: int
+    timings: StageTimings = field(default_factory=StageTimings)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def legal_clips(self) -> list[np.ndarray]:
+        """Legal candidates in proposal order (duplicates retained)."""
+        return [clip for clip, ok in zip(self.clips, self.legal) if ok]
+
+    @property
+    def legal_count(self) -> int:
+        return int(self.legal.sum())
+
+    @property
+    def admitted(self) -> int:
+        """Clean *and* new clips (library size)."""
+        return len(self.library)
+
+    @property
+    def legality_rate(self) -> float:
+        return self.legal_count / self.attempts if self.attempts else 0.0
+
+    @property
+    def seconds_per_sample(self) -> float:
+        return self.timings.total_seconds / max(self.attempts, 1)

@@ -14,6 +14,12 @@ Every experiment run is cached under ``.artifacts/results`` keyed by its
 parameters, so benches re-render tables instantly after the first run and
 Table III can re-score the raw samples produced for Table I without
 regenerating them.
+
+Generation itself is *not* implemented here: every campaign routes
+through :mod:`repro.engine` (the backend registry plus the shared
+batched/cached executor), so the table modules only aggregate and format.
+DRC re-scoring additionally benefits from the engine's content-hash
+legality cache, which is shared across all harnesses over the same deck.
 """
 
 from __future__ import annotations

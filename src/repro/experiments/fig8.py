@@ -12,6 +12,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.library import PatternLibrary
 from ..core.masks import all_masks
 from ..core.pipeline import PatternPaint, PatternPaintConfig
 from ..diffusion.inpaint import InpaintConfig
@@ -45,24 +46,19 @@ def run_fig8(
     rng = np.random.default_rng(8_000 + seed)
     masks = all_masks(starter.shape)
 
-    variations: list[np.ndarray] = []
+    # Seed the library with the starter so the executor's dedup admits
+    # only genuinely new legal variations.
+    library = PatternLibrary(name="fig8")
+    library.add(starter)
     attempts = 0
-    engine = deck.engine()
-    while len(variations) < n_variations and attempts < max_attempts:
+    while len(library) - 1 < n_variations and attempts < max_attempts:
         batch = min(10, max_attempts - attempts)
         templates = [starter] * batch
         mask_arrays = [masks[(attempts + i) % len(masks)].mask for i in range(batch)]
         raw_outputs, _ = pipeline.inpaint_batch(templates, mask_arrays, rng)
         attempts += batch
-        for raw in raw_outputs:
-            from ..core.template_denoise import template_denoise
-
-            clean = template_denoise(raw, starter, rng=rng)
-            if engine.is_clean(clean) and not np.array_equal(clean, starter):
-                if not any(np.array_equal(clean, v) for v in variations):
-                    variations.append(clean)
-            if len(variations) >= n_variations:
-                break
+        pipeline.executor.postprocess(raw_outputs, templates, rng, library=library)
+    variations = library.clips[1 : n_variations + 1]
 
     labels = ["starter"] + [f"variation-{i + 1}" for i in range(len(variations))]
     ascii_art = render_side_by_side([starter] + variations, labels=labels)

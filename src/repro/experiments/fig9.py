@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..baselines.solver import SolverSettings, SquishLegalizer
+from ..baselines.topologies import random_topology
 from ..core.template_denoise import template_denoise
 from ..drc.decks import RuleDeck, advanced_deck, basic_deck, complex_deck
 from ..drc.rules import MaxAreaRule, MinAreaRule, Rule
@@ -47,40 +48,6 @@ class Fig9Point:
 class Fig9Curve:
     setting: str
     points: list[Fig9Point] = field(default_factory=list)
-
-
-def random_topology(
-    size: int, rng: np.random.Generator, *, fill_target: float = 0.35
-) -> np.ndarray:
-    """A random track-like topology matrix of ``size x size`` cells.
-
-    Built as vertical strips (1-2 cells wide) separated by short gap spans
-    (1-3 cells), with random segment breaks per strip — the squish-cell
-    analogue of the topologies the squish-based baselines sample.  Short
-    gap spans keep small instances *feasible* under spacing upper bounds
-    (a gap of k cells needs at least k pixels), so the success-rate decay
-    over size measures solver scalability rather than trivially infeasible
-    inputs; breaks that align across neighbouring strips still create the
-    long-span and discrete-width conflicts that break large instances.
-    """
-    topology = np.zeros((size, size), dtype=bool)
-    max_gap = 3 if fill_target >= 0.3 else 4
-    x = 0
-    while x < size:
-        width = int(rng.integers(1, 3))
-        width = min(width, size - x)
-        strip = np.ones(size, dtype=bool)
-        for _ in range(int(rng.integers(0, max(1, size // 10) + 1))):
-            break_len = int(rng.integers(1, 3))
-            y0 = int(rng.integers(0, max(1, size - break_len)))
-            strip[y0 : y0 + break_len] = False
-        if not strip.any():
-            strip[:] = True
-        topology[:, x : x + width] = strip[:, None]
-        x += width + int(rng.integers(1, max_gap + 1))
-    if not topology.any():
-        topology[:, : max(1, size // 8)] = True
-    return topology
 
 
 def _deck_for(setting: str, size: int, px_per_cell: int) -> RuleDeck:

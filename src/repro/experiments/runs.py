@@ -3,21 +3,24 @@
 These functions produce the *data* behind Tables I-III and Figure 7; the
 table modules only aggregate and format.  Each run is deterministic given
 its parameters and cached under ``.artifacts/results``.
+
+All generation routes through :mod:`repro.engine`: the PatternPaint runs
+via the pipeline's built-in :class:`~repro.engine.executor.BatchExecutor`,
+the baseline campaigns via the backend registry — there is no per-
+experiment generate -> check loop here.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..baselines.cup import CupGenerator
-from ..baselines.diffpattern import DiffPatternGenerator
 from ..baselines.solver import SolverSettings
 from ..core.pipeline import PatternPaint, PatternPaintConfig
 from ..diffusion.inpaint import InpaintConfig
-from ..zoo.artifacts import cup_model, diffpattern_model, finetuned, pretrained
+from ..engine import GenerationRequest, get_backend, run_generation
+from ..zoo.artifacts import finetuned, pretrained
 from ..zoo.corpora import experiment_deck, starter_patterns
 from .common import ModelRun, load_model_run, results_dir, save_model_run, scaled
 
@@ -31,6 +34,12 @@ __all__ = [
 
 #: The four model rows of Table I, in paper order.
 PATTERNPAINT_MODELS = ("sd1-base", "sd2-base", "sd1-ft", "sd2-ft")
+
+#: Result-cache revision.  Bump whenever the generation stream changes for
+#: the same parameters (e.g. "eng1": the engine refactor's per-job
+#: ``rng.spawn`` denoise streams), so stale campaign caches from earlier
+#: revisions are never replayed as current results.
+_CACHE_REV = "eng1"
 
 
 def _load_model(name: str):
@@ -61,7 +70,8 @@ def patternpaint_run(
     init_budget = init_budget if init_budget is not None else scaled(200)
     iter_budget = iter_budget if iter_budget is not None else scaled(500)
     cache_path = results_dir() / (
-        f"run-{name}-i{init_budget}-r{iterations}-t{iter_budget}-s{seed}.npz"
+        f"run-{_CACHE_REV}-{name}-i{init_budget}-r{iterations}-t{iter_budget}"
+        f"-s{seed}.npz"
     )
     if use_cache and cache_path.exists():
         return load_model_run(cache_path)
@@ -141,7 +151,9 @@ def baseline_run(
 ) -> BaselineRun:
     """Run (or load) a CUP / DiffPattern campaign on the advanced deck."""
     attempts = attempts if attempts is not None else scaled(200)
-    cache_path = results_dir() / f"baseline-{kind}-n{attempts}-s{seed}.npz"
+    cache_path = results_dir() / (
+        f"baseline-{_CACHE_REV}-{kind}-n{attempts}-s{seed}.npz"
+    )
     if use_cache and cache_path.exists():
         with np.load(cache_path) as archive:
             legal = [clip for clip in archive["legal"]] if "legal" in archive else []
@@ -152,25 +164,27 @@ def baseline_run(
                 seconds=float(archive["seconds"]),
             )
 
+    if kind not in ("cup", "diffpattern"):
+        raise ValueError(f"unknown baseline {kind!r}")
     deck = experiment_deck()
     settings = SolverSettings(max_iter=120, discrete_restarts=3)
+    backend = get_backend(kind, deck=deck, settings=settings)
     rng = np.random.default_rng(20_000 + seed)
-    start = time.time()
-    if kind == "cup":
-        generator = CupGenerator(cup_model(), deck, settings)
-        legal, n, _ = generator.generate(attempts, rng)
-    elif kind == "diffpattern":
-        generator = DiffPatternGenerator(diffpattern_model(), deck, settings)
-        legal, n, _ = generator.generate(attempts, rng)
-    else:
-        raise ValueError(f"unknown baseline {kind!r}")
-    seconds = time.time() - start
+    batch = run_generation(
+        GenerationRequest(backend=kind, count=attempts, seed=seed, deck=deck),
+        backend=backend,
+        rng=rng,
+    )
+    legal = batch.legal_clips
+    seconds = batch.timings.total_seconds
 
     payload: dict[str, np.ndarray] = {
-        "attempts": np.asarray(n),
+        "attempts": np.asarray(batch.attempts),
         "seconds": np.asarray(seconds),
     }
     if legal:
         payload["legal"] = np.stack(legal).astype(np.uint8)
     np.savez_compressed(cache_path, **payload)
-    return BaselineRun(name=kind, attempts=n, legal=legal, seconds=seconds)
+    return BaselineRun(
+        name=kind, attempts=batch.attempts, legal=legal, seconds=seconds
+    )

@@ -1,4 +1,9 @@
-"""Legality metrics: DR-clean rates and success rates."""
+"""Legality metrics: DR-clean rates and success rates.
+
+All helpers route through :meth:`repro.drc.engine.DrcEngine.check_batch`,
+so verdicts are memoised by content hash and re-scoring overlapping clip
+sets (Table III, Figure 7 growth curves) costs hashes, not rule sweeps.
+"""
 
 from __future__ import annotations
 
@@ -13,7 +18,7 @@ __all__ = ["count_legal", "legality_rate", "success_percent", "split_legal"]
 
 def count_legal(clips: Iterable[np.ndarray], engine: DrcEngine) -> int:
     """Number of clips passing the deck."""
-    return sum(1 for clip in clips if engine.is_clean(clip))
+    return int(engine.check_batch(list(clips)).sum())
 
 
 def legality_rate(clips: Sequence[np.ndarray], engine: DrcEngine) -> float:
@@ -33,8 +38,10 @@ def split_legal(
     clips: Sequence[np.ndarray], engine: DrcEngine
 ) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Partition clips into ``(legal, illegal)`` lists, order preserved."""
+    clips = list(clips)
+    mask = engine.check_batch(clips)
     legal: list[np.ndarray] = []
     illegal: list[np.ndarray] = []
-    for clip in clips:
-        (legal if engine.is_clean(clip) else illegal).append(clip)
+    for clip, ok in zip(clips, mask):
+        (legal if ok else illegal).append(clip)
     return legal, illegal

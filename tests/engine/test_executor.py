@@ -1,0 +1,182 @@
+"""BatchExecutor behavior: pooling determinism, caching, chunking."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rule_based import TrackGeneratorConfig, TrackPatternGenerator
+from repro.core.library import PatternLibrary
+from repro.drc import advanced_deck
+from repro.engine import (
+    BatchExecutor,
+    ExecutorConfig,
+    GenerationRequest,
+    get_backend,
+    run_generation,
+)
+from repro.geometry import Grid
+
+GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return advanced_deck(GRID)
+
+
+@pytest.fixture(scope="module")
+def clips(deck):
+    generator = TrackPatternGenerator(TrackGeneratorConfig(deck=deck))
+    return generator.sample_many(8, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def noisy_raws(clips):
+    """Synthetic 'model outputs': legal clips in [-1, 1] with edge jitter."""
+    rng = np.random.default_rng(1)
+    raws = []
+    for clip in clips:
+        raw = clip.astype(np.float32) * 2.0 - 1.0
+        raw += rng.normal(0.0, 0.35, size=raw.shape).astype(np.float32)
+        raws.append(np.clip(raw, -1.0, 1.0))
+    return raws
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(model_batch=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(jobs=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(pool="fiber")
+
+
+class TestPostprocess:
+    def test_counts_and_legality(self, deck, clips, noisy_raws):
+        executor = BatchExecutor(deck.engine())
+        library = PatternLibrary()
+        result = executor.postprocess(
+            noisy_raws, list(clips), np.random.default_rng(2), library=library
+        )
+        assert len(result.clips) == len(clips)
+        assert result.legal.shape == (len(clips),)
+        engine = deck.engine()
+        expected = [engine.is_clean(c) for c in result.clips]
+        assert list(result.legal) == expected
+        assert result.admitted == len(library)
+        assert all(engine.is_clean(c) for c in library)
+
+    def test_binary_candidates_skip_denoise(self, deck, clips):
+        executor = BatchExecutor(deck.engine())
+        result = executor.postprocess(
+            list(clips), [None] * len(clips), np.random.default_rng(0)
+        )
+        # Rule-generated clips are DR-clean by construction and unchanged.
+        assert result.legal.all()
+        for before, after in zip(clips, result.clips):
+            np.testing.assert_array_equal(before, after)
+
+    def test_empty_batch(self, deck):
+        executor = BatchExecutor(deck.engine())
+        result = executor.postprocess([], [], np.random.default_rng(0))
+        assert result.clips == []
+        assert result.legal.size == 0
+
+
+class TestPoolDeterminism:
+    """Satellite: rng.spawn() per job => pooled == serial, bit for bit."""
+
+    def _run(self, deck, noisy_raws, clips, jobs, pool="thread"):
+        executor = BatchExecutor(
+            deck.engine(), ExecutorConfig(jobs=jobs, pool=pool)
+        )
+        library = PatternLibrary()
+        result = executor.postprocess(
+            noisy_raws, list(clips), np.random.default_rng(7), library=library
+        )
+        return result, library
+
+    def test_thread_pool_matches_serial(self, deck, clips, noisy_raws):
+        serial, lib_serial = self._run(deck, noisy_raws, clips, jobs=1)
+        pooled, lib_pooled = self._run(deck, noisy_raws, clips, jobs=4)
+        assert len(serial.clips) == len(pooled.clips)
+        for a, b in zip(serial.clips, pooled.clips):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(serial.legal, pooled.legal)
+        assert len(lib_serial) == len(lib_pooled)
+        for a, b in zip(lib_serial, lib_pooled):
+            np.testing.assert_array_equal(a, b)
+
+    def test_process_pool_matches_serial(self, deck, clips, noisy_raws):
+        serial, _ = self._run(deck, noisy_raws[:4], clips[:4], jobs=1)
+        pooled, _ = self._run(
+            deck, noisy_raws[:4], clips[:4], jobs=2, pool="process"
+        )
+        for a, b in zip(serial.clips, pooled.clips):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(serial.legal, pooled.legal)
+
+
+class TestCaching:
+    def test_repeated_clips_hit_cache(self, deck, clips):
+        executor = BatchExecutor(deck.engine())
+        first, _ = executor.check_batch(list(clips))
+        hits_before = executor.engine.cache.hits
+        second, _ = executor.check_batch(list(clips))
+        np.testing.assert_array_equal(first, second)
+        assert executor.engine.cache.hits >= hits_before + len(clips)
+
+    def test_run_reports_cache_counters(self, deck):
+        backend = get_backend("rule", deck=deck)
+        executor = BatchExecutor(deck.engine())
+        request = GenerationRequest(backend="rule", count=4, seed=11, deck=deck)
+        first = executor.run(request, backend=backend)
+        second = executor.run(request, backend=backend)
+        assert first.attempts == second.attempts == 4
+        # Same seed => same clips => the second pass is all cache hits.
+        assert second.cache_hits >= len(second.clips)
+        assert second.cache_misses == 0
+        for a, b in zip(first.clips, second.clips):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestModelBatching:
+    def test_chunk_sizes(self, deck):
+        executor = BatchExecutor(deck.engine(), ExecutorConfig(model_batch=3))
+        seen: list[int] = []
+
+        def model_fn(chunk_t, chunk_m, rng):
+            seen.append(len(chunk_t))
+            return [t.astype(np.float32) for t in chunk_t]
+
+        items = [np.zeros((4, 4), dtype=np.uint8)] * 8
+        outputs, seconds = executor.run_model_batched(
+            model_fn, items, items, np.random.default_rng(0)
+        )
+        assert seen == [3, 3, 2]
+        assert len(outputs) == 8
+        assert seconds >= 0.0
+
+    def test_mismatched_lengths_rejected(self, deck):
+        executor = BatchExecutor(deck.engine())
+        with pytest.raises(ValueError):
+            executor.run_model_batched(
+                lambda t, m, r: t,
+                [np.zeros((4, 4))],
+                [],
+                np.random.default_rng(0),
+            )
+
+
+class TestRunGeneration:
+    def test_one_call_entry_point(self, deck):
+        batch = run_generation(
+            GenerationRequest(backend="rule", count=5, seed=1, deck=deck),
+            jobs=2,
+        )
+        assert batch.backend == "rule"
+        assert batch.attempts == 5
+        assert batch.legal.all()
+        assert batch.legality_rate == 1.0
+        assert len(batch.library) <= 5
+        assert batch.timings.total_seconds > 0.0

@@ -1,0 +1,95 @@
+"""Registry behavior: registration, lookup, listing, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CandidateBatch,
+    GenerationRequest,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.engine.registry import GeneratorBackend
+
+BUILTIN = {"patternpaint", "diffpattern", "cup", "rule", "solver"}
+
+
+class TestListing:
+    def test_builtins_registered(self):
+        assert BUILTIN <= set(list_backends())
+
+    def test_sorted(self):
+        names = list_backends()
+        assert names == sorted(names)
+
+
+class TestLookup:
+    def test_get_rule_backend(self):
+        backend = get_backend("rule")
+        assert backend.name == "rule"
+        assert backend.deck.name  # has a usable deck
+
+    def test_unknown_name_raises_with_available_list(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("does-not-exist")
+        with pytest.raises(ValueError, match="rule"):
+            get_backend("does-not-exist")
+
+    def test_factory_kwargs_forwarded(self):
+        from repro.drc import basic_deck
+        from repro.geometry import Grid
+
+        deck = basic_deck(Grid(nm_per_px=32.0, width_px=16, height_px=16))
+        backend = get_backend("rule", deck=deck)
+        assert backend.deck is deck
+
+    def test_builtin_backends_satisfy_protocol(self):
+        assert isinstance(get_backend("rule"), GeneratorBackend)
+        assert isinstance(get_backend("solver"), GeneratorBackend)
+
+
+class _ConstantBackend:
+    """Test double: proposes the same all-empty clip every time."""
+
+    name = "test-constant"
+
+    def __init__(self, deck=None):
+        from repro.zoo.corpora import experiment_deck
+
+        self._deck = deck or experiment_deck()
+
+    @property
+    def deck(self):
+        return self._deck
+
+    def propose(self, request, rng):
+        clip = np.zeros((32, 32), dtype=np.uint8)
+        return CandidateBatch.from_clips(
+            [clip] * request.count, attempts=request.count
+        )
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        register_backend("test-constant", _ConstantBackend, overwrite=True)
+        backend = get_backend("test-constant")
+        assert backend.name == "test-constant"
+        proposal = backend.propose(
+            GenerationRequest(backend="test-constant", count=3),
+            np.random.default_rng(0),
+        )
+        assert len(proposal.raws) == 3
+
+    def test_duplicate_rejected_without_overwrite(self):
+        register_backend("test-dup", _ConstantBackend, overwrite=True)
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("test-dup", _ConstantBackend)
+
+    def test_decorator_form(self):
+        @register_backend("test-decorated", overwrite=True)
+        def make_backend(**kwargs):
+            return _ConstantBackend(**kwargs)
+
+        assert "test-decorated" in list_backends()
+        assert get_backend("test-decorated").name == "test-constant"
