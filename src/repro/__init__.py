@@ -47,6 +47,15 @@ from .engine import (
 )
 from .geometry.grid import DEFAULT_GRID, Grid
 from .geometry.squish import SquishPattern, squish, unsquish
+from .library import (
+    InMemoryStore,
+    LibraryStore,
+    ShardDelta,
+    ShardedStore,
+    load_library,
+    merge_libraries,
+    save_library,
+)
 from .metrics.diversity import summarize_library
 from .metrics.entropy import h1_entropy, h2_entropy
 
@@ -60,11 +69,15 @@ __all__ = [
     "GenerationBatch",
     "GenerationRequest",
     "Grid",
+    "InMemoryStore",
+    "LibraryStore",
     "PatternLibrary",
     "PatternPaint",
     "PatternPaintConfig",
     "PatternPaintResult",
     "RuleDeck",
+    "ShardDelta",
+    "ShardedStore",
     "SquishPattern",
     "TemplateDenoiseConfig",
     "__version__",
@@ -76,8 +89,11 @@ __all__ = [
     "h1_entropy",
     "h2_entropy",
     "list_backends",
+    "load_library",
+    "merge_libraries",
     "register_backend",
     "run_generation",
+    "save_library",
     "squish",
     "summarize_library",
     "template_denoise",

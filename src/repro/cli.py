@@ -2,8 +2,9 @@
 
 Commands cover the full workflow a downstream user needs: generating
 rule-based libraries, running DRC, inspecting squish representations,
-rendering clips, building the model zoo, and regenerating every table and
-figure of the paper.
+rendering clips, building the model zoo, managing sharded library
+snapshots (``repro library info|merge``, ``generate --library-dir``), and
+regenerating every table and figure of the paper.
 """
 
 from __future__ import annotations
@@ -43,6 +44,15 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-n", "--count", type=_positive_int, default=20)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", required=True, help="output .npz path")
+    gen.add_argument("--library-shards", type=_positive_int, default=None,
+                     metavar="N",
+                     help="shard the dedup library by pattern-hash prefix "
+                          "(contents are identical for any value; default: "
+                          "keep an existing snapshot's layout, else 1)")
+    gen.add_argument("--library-dir", default=None, metavar="DIR",
+                     help="persistent library snapshot directory: existing "
+                          "clips are loaded first (cross-run dedup), and the "
+                          "grown library is saved back after generation")
 
     drc = sub.add_parser("drc", help="run DRC over a clip library")
     drc.add_argument("library", help=".npz produced by 'generate' or the API")
@@ -63,6 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
     zoo = sub.add_parser("zoo", help="build / inspect cached model artifacts")
     zoo.add_argument("action", choices=["build", "list"])
 
+    lib = sub.add_parser(
+        "library", help="inspect / merge sharded library snapshots"
+    )
+    lib_sub = lib.add_subparsers(dest="library_command", required=True)
+    info = lib_sub.add_parser(
+        "info", help="summarise a library snapshot directory"
+    )
+    info.add_argument("dir", help="directory written by --library-dir or "
+                                  "'repro library merge'")
+    merge = lib_sub.add_parser(
+        "merge", help="merge snapshot directories (dedup, order-stable)"
+    )
+    merge.add_argument("out", help="output snapshot directory")
+    merge.add_argument("sources", nargs="+", help="source snapshot directories")
+    merge.add_argument("--shards", type=_positive_int, default=None,
+                       help="re-shard the merged library (default: keep the "
+                            "first source's layout)")
+
     for table in ("table1", "table2", "table3", "fig7", "fig9"):
         exp = sub.add_parser(table, help=f"reproduce {table} of the paper")
         exp.add_argument("--no-cache", action="store_true")
@@ -75,9 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args) -> int:
+    from pathlib import Path
+
     from .drc.decks import deck_by_name
     from .engine import GenerationRequest, get_backend, run_generation
     from .io.clips import save_clips
+    from .library import (
+        ShardedStore,
+        ensure_snapshot_target,
+        is_library_dir,
+        load_library,
+        save_library,
+    )
     from .zoo.corpora import EXPERIMENT_GRID
 
     deck = deck_by_name(args.deck, EXPERIMENT_GRID)
@@ -86,17 +123,47 @@ def _cmd_generate(args) -> int:
     except ValueError as error:
         print(f"repro generate: error: {error}", file=sys.stderr)
         return 2
+
+    store = None
+    try:
+        if args.library_dir and is_library_dir(args.library_dir):
+            # None keeps the snapshot's own shard layout.
+            store = load_library(
+                args.library_dir, num_shards=args.library_shards
+            )
+            print(f"loaded {len(store)} clips from {args.library_dir}")
+        elif args.library_dir or (args.library_shards or 1) > 1:
+            if args.library_dir:
+                # Fail before generation, not after, on an unusable target.
+                ensure_snapshot_target(args.library_dir)
+            store = ShardedStore(
+                num_shards=args.library_shards or 1, name=args.backend
+            )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro generate: error: {error}", file=sys.stderr)
+        return 2
+    preloaded = len(store) if store is not None else 0
+
     request = GenerationRequest(
         backend=args.backend, count=args.count, seed=args.seed, deck=deck
     )
-    batch = run_generation(request, jobs=args.jobs, backend=backend)
-    clips = list(batch.library)
+    batch = run_generation(
+        request, jobs=args.jobs, backend=backend, library=store
+    )
+    # Only this run's admissions go to --out; the snapshot dir keeps all.
+    clips = list(batch.library.clips[preloaded:])
+    if args.library_dir:
+        save_library(batch.library, Path(args.library_dir))
+        print(
+            f"library snapshot: {len(batch.library)} clips "
+            f"({batch.library.num_shards} shards) in {args.library_dir}"
+        )
     if not clips:
         # Faithful outcome for weak backends under strict decks (e.g. CUP
         # on the advanced deck, Table I): report it instead of writing an
         # empty library.
         print(
-            f"0 of {batch.attempts} attempts were DR-clean "
+            f"0 of {batch.attempts} attempts were DR-clean and new "
             f"({args.deck} deck, {args.backend} backend); nothing written"
         )
         return 1
@@ -112,6 +179,50 @@ def _cmd_generate(args) -> int:
         f"to {args.out}"
     )
     return 0
+
+
+def _cmd_library(args) -> int:
+    from .library import (
+        load_library,
+        merge_libraries,
+        save_library,
+        snapshot_count,
+    )
+
+    if args.library_command == "info":
+        try:
+            store = load_library(args.dir)
+        except (FileNotFoundError, ValueError) as error:
+            print(f"repro library: error: {error}", file=sys.stderr)
+            return 2
+        summary = store.summary()
+        print(
+            f"{store.name}: {len(store)} clips in {store.num_shards} shards"
+        )
+        print(
+            f"unique={summary.unique}  H1={summary.h1:.3f}  "
+            f"H2={summary.h2:.3f}  mean_density={summary.mean_density:.3f}"
+        )
+        sizes = store.shard_sizes()
+        print("shard sizes: " + ", ".join(str(n) for n in sizes))
+        return 0
+    if args.library_command == "merge":
+        try:
+            merged = merge_libraries(args.sources, num_shards=args.shards)
+        except (FileNotFoundError, ValueError) as error:
+            print(f"repro library: error: {error}", file=sys.stderr)
+            return 2
+        save_library(merged, args.out)
+        total = sum(snapshot_count(source) for source in args.sources)
+        print(
+            f"merged {len(args.sources)} libraries ({total} clips, "
+            f"{total - len(merged)} duplicates) into {args.out}: "
+            f"{len(merged)} clips in {merged.num_shards} shards"
+        )
+        return 0
+    raise AssertionError(
+        f"unhandled library command {args.library_command}"
+    )  # pragma: no cover
 
 
 def _cmd_drc(args) -> int:
@@ -221,6 +332,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_render(args)
     if command == "zoo":
         return _cmd_zoo(args)
+    if command == "library":
+        return _cmd_library(args)
     if command == "fig8":
         return _cmd_fig8(args)
     if command in ("table1", "table2", "table3", "fig7", "fig9"):

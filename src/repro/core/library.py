@@ -1,67 +1,37 @@
-"""The pattern library: deduplicated, DR-clean clip storage.
+"""Back-compat facade over the :mod:`repro.library` subsystem.
 
 The iterative generation loop only admits *clean and new* samples (Section
-V-A); :class:`PatternLibrary` enforces the "new" part via exact pattern
-hashing and keeps insertion order so experiments can replay growth curves.
+V-A).  Deduplicated clip storage now lives in :mod:`repro.library`
+(:class:`~repro.library.InMemoryStore`, :class:`~repro.library.ShardedStore`,
+persistence, the worker merge protocol); :class:`PatternLibrary` survives
+as a thin facade so the original ``add``/``add_many`` vocabulary and
+import path keep working.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable
 
 import numpy as np
 
-from ..geometry.hashing import pattern_hash
-from ..metrics.diversity import LibrarySummary, summarize_library
+from ..library.store import InMemoryStore
 
 __all__ = ["PatternLibrary"]
 
 
-class PatternLibrary:
-    """An append-only, hash-deduplicated collection of layout clips."""
+class PatternLibrary(InMemoryStore):
+    """An append-only, hash-deduplicated collection of layout clips.
 
-    def __init__(self, clips: Iterable[np.ndarray] = (), *, name: str = "library"):
-        self.name = name
-        self._clips: list[np.ndarray] = []
-        self._hashes: set[str] = set()
-        self.add_many(clips)
+    Identical storage semantics to :class:`~repro.library.InMemoryStore`
+    (it *is* one); only the historical method names differ.  New code
+    should use the store protocol (``admit``/``admit_many``/``merge``)
+    directly.
+    """
 
-    # ------------------------------------------------------------------
-    # Mutation
-    # ------------------------------------------------------------------
     def add(self, clip: np.ndarray) -> bool:
         """Add one clip; returns True when it was new (kept)."""
-        digest = pattern_hash(clip)
-        if digest in self._hashes:
-            return False
-        self._hashes.add(digest)
-        self._clips.append(np.asarray(clip, dtype=np.uint8).copy())
-        return True
+        return self.admit(clip)
 
     def add_many(self, clips: Iterable[np.ndarray]) -> int:
         """Add clips in order; returns how many were new."""
-        return sum(1 for clip in clips if self.add(clip))
-
-    # ------------------------------------------------------------------
-    # Access
-    # ------------------------------------------------------------------
-    @property
-    def clips(self) -> list[np.ndarray]:
-        """The stored clips (insertion order).  Do not mutate entries."""
-        return self._clips
-
-    def __len__(self) -> int:
-        return len(self._clips)
-
-    def __iter__(self) -> Iterator[np.ndarray]:
-        return iter(self._clips)
-
-    def __contains__(self, clip: np.ndarray) -> bool:
-        return pattern_hash(clip) in self._hashes
-
-    def summary(self) -> LibrarySummary:
-        """Counts, uniqueness and H1/H2 of the current contents."""
-        return summarize_library(self._clips)
-
-    def copy(self) -> "PatternLibrary":
-        return PatternLibrary(self._clips, name=self.name)
+        return sum(self.admit_many(clips))

@@ -34,7 +34,7 @@ from ..diffusion.ddpm import Ddpm, clips_to_model_space
 from ..diffusion.inpaint import InpaintConfig, inpaint
 from ..drc.decks import RuleDeck
 from ..engine.executor import BatchExecutor, ExecutorConfig
-from ..metrics.entropy import h1_entropy, h2_entropy
+from ..library import LibraryStore, ShardedStore
 from .library import PatternLibrary
 from .masks import MaskScheduler, all_masks
 from .selection import density_constraint, select_representative
@@ -52,7 +52,11 @@ class PatternPaintConfig:
     ``keep_raw`` retains pre-denoise model outputs with their templates so
     the Table III harness can re-score them under different denoisers.
     ``jobs``/``pool`` configure the executor's denoise/DRC worker pool
-    (1 = serial; results are identical either way).
+    (1 = serial; results are identical either way).  ``library_shards``
+    selects the library store the run admits into (1 = the classic
+    single-population store; >1 = a hash-prefix
+    :class:`~repro.library.ShardedStore`); contents and order are
+    identical for any shard count.
     """
 
     inpaint: InpaintConfig = field(default_factory=InpaintConfig)
@@ -67,6 +71,7 @@ class PatternPaintConfig:
     keep_raw: bool = False
     jobs: int = 1
     pool: str = "thread"
+    library_shards: int = 1
 
 
 @dataclass
@@ -101,7 +106,7 @@ class GenerationStats:
 class PatternPaintResult:
     """Library plus per-stage statistics from a full run."""
 
-    library: PatternLibrary
+    library: LibraryStore
     stats: list[GenerationStats]
     raw_samples: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
 
@@ -143,6 +148,14 @@ class PatternPaint:
     def clip_shape(self) -> tuple[int, int]:
         """(H, W) of the clips this pipeline generates."""
         return self._shape
+
+    def new_library(self) -> LibraryStore:
+        """A fresh store per ``config.library_shards`` (facade when 1)."""
+        if self.config.library_shards > 1:
+            return ShardedStore(
+                num_shards=self.config.library_shards, name="patternpaint"
+            )
+        return PatternLibrary(name="patternpaint")
 
     # ------------------------------------------------------------------
     # Low-level stages
@@ -204,7 +217,7 @@ class PatternPaint:
         templates: list[np.ndarray],
         rng: np.random.Generator,
         stats: GenerationStats,
-        library: PatternLibrary,
+        library: LibraryStore,
     ) -> None:
         """Template-denoise, DRC-check and admit clean+new clips.
 
@@ -229,35 +242,45 @@ class PatternPaint:
         rng: np.random.Generator,
         *,
         variations_per_mask: int | None = None,
-    ) -> tuple[PatternLibrary, GenerationStats, list[tuple[np.ndarray, np.ndarray]]]:
+        library: LibraryStore | None = None,
+    ) -> tuple[LibraryStore, GenerationStats, list[tuple[np.ndarray, np.ndarray]]]:
         """Inpaint every starter x mask x variation combination.
 
         Returns ``(library, stats, raw_pairs)`` where ``raw_pairs`` is
-        non-empty only when ``config.keep_raw`` is set.
+        non-empty only when ``config.keep_raw`` is set.  Pass ``library``
+        (e.g. a store loaded from a snapshot) to dedup against and extend
+        previous runs; by default a fresh store is created per
+        ``config.library_shards``.
         """
         v = variations_per_mask or self.config.variations_per_mask
         masks = [named.mask for named in all_masks(self._shape)]
         jobs_t, jobs_m = self.build_jobs(starters, masks, v)
 
         stats = GenerationStats(label="init")
-        library = PatternLibrary(name="patternpaint")
+        library = library if library is not None else self.new_library()
         raw_outputs, stats.inpaint_seconds = self.inpaint_batch(jobs_t, jobs_m, rng)
         self.denoise_and_check(raw_outputs, jobs_t, rng, stats, library)
 
-        stats.library_size = len(library)
-        stats.h1 = h1_entropy(library)
-        stats.h2 = h2_entropy(library)
+        self._finish_stats(stats, library)
         raw_pairs = (
             list(zip(raw_outputs, jobs_t)) if self.config.keep_raw else []
         )
         return library, stats, raw_pairs
+
+    @staticmethod
+    def _finish_stats(stats: GenerationStats, library: LibraryStore) -> None:
+        """Record library size and diversity from the store's cached summary."""
+        stats.library_size = len(library)
+        summary = library.summary()
+        stats.h1 = summary.h1
+        stats.h2 = summary.h2
 
     # ------------------------------------------------------------------
     # Stage 4: iterative generation
     # ------------------------------------------------------------------
     def iterate(
         self,
-        library: PatternLibrary,
+        library: LibraryStore,
         rng: np.random.Generator,
         *,
         iterations: int,
@@ -306,19 +329,17 @@ class PatternPaint:
                 jobs_t, jobs_m, rng
             )
             self.denoise_and_check(raw_outputs, jobs_t, rng, stats, library)
-            stats.library_size = len(library)
-            stats.h1 = h1_entropy(library)
-            stats.h2 = h2_entropy(library)
+            self._finish_stats(stats, library)
             out.append(stats)
         return out
 
     def _select_seeds(
         self,
-        library: PatternLibrary,
+        library: LibraryStore,
         rng: np.random.Generator,
         constraint,
     ) -> list[np.ndarray]:
-        clips = library.clips
+        clips = list(library.clips)
         if not clips:
             return []
         indices = select_representative(
@@ -341,10 +362,12 @@ class PatternPaint:
         iterations: int = 6,
         variations_per_mask: int | None = None,
         samples_per_iteration: int | None = None,
+        library: LibraryStore | None = None,
     ) -> PatternPaintResult:
         """Initial generation followed by ``iterations`` iterative rounds."""
         library, init_stats, raw_pairs = self.initial_generation(
-            starters, rng, variations_per_mask=variations_per_mask
+            starters, rng, variations_per_mask=variations_per_mask,
+            library=library,
         )
         stats = [init_stats]
         stats.extend(

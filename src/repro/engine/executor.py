@@ -15,7 +15,16 @@ shares, regardless of which model proposed the candidates:
   free across iterations and experiments;
 * **deterministic seeding** — one root :class:`numpy.random.Generator` is
   split via ``rng.spawn()`` into an independent child per job, so pooled
-  and serial execution produce bit-identical libraries for the same seed.
+  and serial execution produce bit-identical libraries for the same seed;
+* **store-based admission** — clean candidates enter any
+  :class:`~repro.library.LibraryStore` through :meth:`admit_batch`, which
+  under ``jobs > 1`` (and past ``admit_pool_threshold`` candidates —
+  below it the store's vectorised ``admit_many`` beats pool spin-up)
+  hashes contiguous batch slices on the worker pool
+  (:func:`repro.library.compute_delta`) and merges the resulting
+  :class:`~repro.library.ShardDelta`\\ s into the store in batch order —
+  the worker merge protocol that keeps pooled admission bit-identical to
+  serial.
 
 :func:`run_generation` is the one-call entry point used by the CLI and the
 experiment harnesses.
@@ -34,6 +43,7 @@ from ..core.library import PatternLibrary
 from ..core.template_denoise import TemplateDenoiseConfig, template_denoise
 from ..drc.engine import DrcEngine
 from ..geometry.raster import validate_clip
+from ..library import LibraryStore, compute_delta
 from .registry import GeneratorBackend, get_backend
 from .request import GenerationBatch, GenerationRequest, StageTimings
 
@@ -59,6 +69,11 @@ class ExecutorConfig:
     ``jobs`` is the worker count for the denoise and DRC stages (1 =
     serial); ``pool`` selects ``"thread"`` or ``"process"`` workers.
     ``model_batch`` is the chunk size for :meth:`BatchExecutor.run_model_batched`.
+    ``admit_pool_threshold`` is the batch size below which
+    :meth:`BatchExecutor.admit_batch` skips the worker pool and admits
+    with the store's own vectorised ``admit_many`` — per-call pool
+    spin-up dwarfs the hashing cost for small batches, and the admitted
+    result is bit-identical either way.
     """
 
     model_batch: int = 32
@@ -66,6 +81,7 @@ class ExecutorConfig:
     pool: str = "thread"
     use_cache: bool = True
     denoise: TemplateDenoiseConfig = field(default_factory=TemplateDenoiseConfig)
+    admit_pool_threshold: int = 4096
 
     def __post_init__(self) -> None:
         if self.model_batch < 1:
@@ -180,6 +196,49 @@ class BatchExecutor:
         )
         return mask, time.perf_counter() - t0
 
+    def admit_batch(
+        self, store: LibraryStore, clips: Sequence[np.ndarray]
+    ) -> list[bool]:
+        """Admit candidates to ``store``; per-clip flags, in batch order.
+
+        With ``jobs > 1`` and at least ``admit_pool_threshold``
+        candidates, the batch is split into contiguous slices whose
+        hashes are computed on the worker pool; the resulting deltas are
+        then merged into the store in slice order, so the admitted
+        contents and insertion order are bit-identical to a serial
+        ``store.admit_many`` call.  Smaller batches take the store's own
+        vectorised path directly.
+        """
+        clips = list(clips)
+        if not clips:
+            return []
+        jobs = min(self.config.jobs, len(clips))
+        if jobs <= 1 or len(clips) < self.config.admit_pool_threshold:
+            return list(store.admit_many(clips))
+        bounds = np.linspace(0, len(clips), jobs + 1).astype(int)
+        slices = [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        pool_cls = (
+            ThreadPoolExecutor
+            if self.config.pool == "thread"
+            else ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=len(slices)) as pool:
+            deltas = list(
+                pool.map(
+                    compute_delta,
+                    [clips[lo:hi] for lo, hi in slices],
+                    [lo for lo, _ in slices],
+                )
+            )
+        flags: list[bool] = []
+        for delta in sorted(deltas, key=lambda d: d.offset):
+            flags.extend(store.merge(delta))
+        return flags
+
     # ------------------------------------------------------------------
     # The shared post-processing pipeline
     # ------------------------------------------------------------------
@@ -189,16 +248,15 @@ class BatchExecutor:
         templates: list[np.ndarray | None],
         rng: np.random.Generator,
         *,
-        library: PatternLibrary | None = None,
+        library: LibraryStore | None = None,
     ) -> PostprocessResult:
         """denoise -> DRC -> dedup, admitting clean+new clips to ``library``."""
         clips, denoise_seconds = self.denoise_batch(raws, templates, rng)
         legal, drc_seconds = self.check_batch(clips)
         admitted = 0
         if library is not None:
-            for clip, ok in zip(clips, legal):
-                if ok and library.add(clip):
-                    admitted += 1
+            legal_clips = [clip for clip, ok in zip(clips, legal) if ok]
+            admitted = sum(self.admit_batch(library, legal_clips))
         return PostprocessResult(
             clips=clips,
             legal=legal,
@@ -217,11 +275,20 @@ class BatchExecutor:
         *,
         backend: GeneratorBackend | None = None,
         rng: np.random.Generator | None = None,
+        library: LibraryStore | None = None,
     ) -> GenerationBatch:
-        """Propose candidates with the request's backend and post-process."""
+        """Propose candidates with the request's backend and post-process.
+
+        Pass ``library`` to admit into an existing store (e.g. one loaded
+        from a snapshot, for cross-run dedup); by default each run gets a
+        fresh single-shard store.  ``batch.admitted`` counts only clips
+        admitted by *this* run, whatever the store held before.
+        """
         if backend is None:
             backend = get_backend(request.backend)
         rng = rng if rng is not None else request.rng()
+        if library is None:
+            library = PatternLibrary(name=backend.name)
 
         cache = self.engine.cache
         hits0, misses0 = cache.hits, cache.misses
@@ -230,7 +297,6 @@ class BatchExecutor:
         proposal = backend.propose(request, rng)
         generate_seconds = proposal.generate_seconds or (time.perf_counter() - t0)
 
-        library = PatternLibrary(name=backend.name)
         post = self.postprocess(
             proposal.raws, proposal.templates, rng, library=library
         )
@@ -246,6 +312,7 @@ class BatchExecutor:
             timings=timings,
             cache_hits=cache.hits - hits0,
             cache_misses=cache.misses - misses0,
+            admitted=post.admitted,
         )
 
 
@@ -257,12 +324,14 @@ def run_generation(
     backend: GeneratorBackend | None = None,
     executor: BatchExecutor | None = None,
     rng: np.random.Generator | None = None,
+    library: LibraryStore | None = None,
 ) -> GenerationBatch:
     """One-call generation: resolve the backend, build an executor, run.
 
     The DRC engine comes from ``request.deck`` when given, else from the
     backend's own deck; pass ``executor`` explicitly to reuse one (and its
-    warm DRC cache) across requests.
+    warm DRC cache) across requests, and ``library`` to dedup against (and
+    grow) an existing store.
     """
     if backend is None:
         kwargs = {"deck": request.deck} if request.deck is not None else {}
@@ -272,4 +341,4 @@ def run_generation(
         executor = BatchExecutor(
             deck.engine(), ExecutorConfig(jobs=jobs, pool=pool)
         )
-    return executor.run(request, backend=backend, rng=rng)
+    return executor.run(request, backend=backend, rng=rng, library=library)

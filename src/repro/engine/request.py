@@ -17,8 +17,8 @@ from typing import TYPE_CHECKING, Any, Mapping
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.library import PatternLibrary
     from ..drc.decks import RuleDeck
+    from ..library import LibraryStore
 
 __all__ = [
     "GenerationRequest",
@@ -121,18 +121,21 @@ class GenerationBatch:
     """Executor output: post-processed candidates plus accounting.
 
     ``clips`` are all validated candidates in proposal order, ``legal``
-    the per-clip DRC verdict, ``library`` the deduplicated legal clips.
+    the per-clip DRC verdict, ``library`` the store the clean+new clips
+    were admitted to (it may have been pre-populated by the caller), and
+    ``admitted`` how many clips *this* run added to it.
     """
 
     request: GenerationRequest
     backend: str
     clips: list[np.ndarray]
     legal: np.ndarray
-    library: "PatternLibrary"
+    library: "LibraryStore"
     attempts: int
     timings: StageTimings = field(default_factory=StageTimings)
     cache_hits: int = 0
     cache_misses: int = 0
+    admitted: int = 0
 
     @property
     def legal_clips(self) -> list[np.ndarray]:
@@ -142,11 +145,6 @@ class GenerationBatch:
     @property
     def legal_count(self) -> int:
         return int(self.legal.sum())
-
-    @property
-    def admitted(self) -> int:
-        """Clean *and* new clips (library size)."""
-        return len(self.library)
 
     @property
     def legality_rate(self) -> float:

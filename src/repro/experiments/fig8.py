@@ -12,12 +12,12 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.library import PatternLibrary
 from ..core.masks import all_masks
 from ..core.pipeline import PatternPaint, PatternPaintConfig
 from ..diffusion.inpaint import InpaintConfig
 from ..io.ascii_art import render_side_by_side
 from ..io.png import clip_to_png, grid_sheet
+from ..library import InMemoryStore
 from ..zoo.artifacts import finetuned
 from ..zoo.corpora import experiment_deck, starter_patterns
 
@@ -46,10 +46,10 @@ def run_fig8(
     rng = np.random.default_rng(8_000 + seed)
     masks = all_masks(starter.shape)
 
-    # Seed the library with the starter so the executor's dedup admits
+    # Seed the store with the starter so the executor's dedup admits
     # only genuinely new legal variations.
-    library = PatternLibrary(name="fig8")
-    library.add(starter)
+    library = InMemoryStore(name="fig8")
+    library.admit(starter)
     attempts = 0
     while len(library) - 1 < n_variations and attempts < max_attempts:
         batch = min(10, max_attempts - attempts)
@@ -58,7 +58,7 @@ def run_fig8(
         raw_outputs, _ = pipeline.inpaint_batch(templates, mask_arrays, rng)
         attempts += batch
         pipeline.executor.postprocess(raw_outputs, templates, rng, library=library)
-    variations = library.clips[1 : n_variations + 1]
+    variations = list(library.clips[1 : n_variations + 1])
 
     labels = ["starter"] + [f"variation-{i + 1}" for i in range(len(variations))]
     ascii_art = render_side_by_side([starter] + variations, labels=labels)

@@ -1,7 +1,13 @@
 """Geometry substrate: grids, shapes, rasters and the squish representation."""
 
 from .grid import DEFAULT_GRID, Grid
-from .hashing import complexity_key, geometry_key, pattern_hash, squish_of
+from .hashing import (
+    complexity_key,
+    geometry_key,
+    pattern_hash,
+    pattern_hashes,
+    squish_of,
+)
 from .raster import (
     Run,
     as_binary,
@@ -56,6 +62,7 @@ __all__ = [
     "merge_touching_rects",
     "pad_to",
     "pattern_hash",
+    "pattern_hashes",
     "random_crop",
     "rects_to_raster",
     "rotate90",

@@ -1,0 +1,55 @@
+"""The pattern-library subsystem: pluggable, shardable, persistent.
+
+Everything that stores deduplicated DR-clean clips lives here:
+
+* :class:`LibraryStore` — the protocol all consumers program against;
+* :class:`InMemoryStore` — one hash set + one ordered list (the classic
+  ``PatternLibrary`` behaviour; that name remains as a facade in
+  :mod:`repro.core.library`);
+* :class:`ShardedStore` — hash-prefix partitioned storage with per-shard
+  cached summaries that roll up into one
+  :class:`~repro.metrics.diversity.LibrarySummary`;
+* :class:`ShardDelta` / :func:`compute_delta` / :func:`store_delta` — the
+  worker merge protocol: pool workers hash slices locally, the owning
+  store merges deltas in batch order, so pooled and serial runs admit
+  bit-identical libraries for the same seed;
+* :func:`save_library` / :func:`load_library` / :func:`merge_libraries` —
+  ``.npz``-per-shard snapshot persistence (via :mod:`repro.io`) so
+  libraries survive across runs and merge across machines.
+"""
+
+from .persist import (
+    MANIFEST_NAME,
+    ensure_snapshot_target,
+    is_library_dir,
+    load_library,
+    merge_libraries,
+    save_library,
+    snapshot_count,
+)
+from .sharded import ShardedStore
+from .store import (
+    InMemoryStore,
+    LibraryStore,
+    ShardDelta,
+    compute_delta,
+    shard_of,
+    store_delta,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "InMemoryStore",
+    "LibraryStore",
+    "ShardDelta",
+    "ShardedStore",
+    "compute_delta",
+    "ensure_snapshot_target",
+    "is_library_dir",
+    "load_library",
+    "merge_libraries",
+    "save_library",
+    "shard_of",
+    "snapshot_count",
+    "store_delta",
+]

@@ -1,0 +1,193 @@
+"""Snapshot persistence for library stores: one ``.npz`` per shard.
+
+A saved library is a directory::
+
+    library.json        # manifest: name, shard count, clip count, files
+    shard-0000.npz      # repro.io clip archive + sequence/hash metadata
+    shard-0003.npz      # (empty shards are simply absent)
+
+Shard files are written with :func:`repro.io.clips.save_clips`, so each is
+itself a valid clip archive readable by ``repro drc`` / ``repro render``.
+Per-clip global sequence numbers and content digests ride in the shard
+metadata, which makes loading order-exact and re-hash-free, and lets
+snapshots taken on different machines be merged deterministically
+(:func:`merge_libraries`): first source's order first, later sources
+contribute only patterns not yet seen, in their own insertion order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..io.clips import load_clips, save_clips
+from .sharded import ShardedStore
+from .store import LibraryStore, ShardDelta, shard_of, store_delta
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ensure_snapshot_target",
+    "save_library",
+    "load_library",
+    "merge_libraries",
+    "is_library_dir",
+    "snapshot_count",
+]
+
+MANIFEST_NAME = "library.json"
+_FORMAT = 1
+
+
+def _shard_filename(shard: int) -> str:
+    return f"shard-{shard:04d}.npz"
+
+
+def is_library_dir(path: "str | Path") -> bool:
+    """True when ``path`` holds a saved library snapshot."""
+    return (Path(path) / MANIFEST_NAME).is_file()
+
+
+def ensure_snapshot_target(path: "str | Path") -> Path:
+    """Validate that ``path`` can receive a snapshot; raises ``ValueError``.
+
+    Callers that will save only after expensive work (e.g. the CLI's
+    ``generate --library-dir``) use this to fail before that work starts.
+    Refuses a non-directory, and a directory that contains shard-like
+    files but no manifest (it is not ours).
+    """
+    path = Path(path)
+    if path.exists():
+        if not path.is_dir():
+            raise ValueError(f"{path} exists and is not a directory")
+        if any(path.glob("shard-*.npz")) and not is_library_dir(path):
+            raise ValueError(
+                f"{path} holds shard files but no {MANIFEST_NAME}; refusing "
+                "to overwrite a directory this module did not write"
+            )
+    return path
+
+
+def snapshot_count(path: "str | Path") -> int:
+    """Clip count promised by a snapshot's manifest (no shard loading)."""
+    manifest = json.loads((Path(path) / MANIFEST_NAME).read_text())
+    return int(manifest.get("count", 0))
+
+
+def save_library(store: LibraryStore, path: "str | Path") -> Path:
+    """Write a store's contents as a sharded snapshot directory.
+
+    The shard layout follows the store's own ``num_shards``; an existing
+    snapshot at ``path`` is replaced (see :func:`ensure_snapshot_target`
+    for what is refused).
+    """
+    path = ensure_snapshot_target(path)
+    if path.exists():
+        for file in sorted(path.glob("shard-*.npz")):
+            file.unlink()
+    else:
+        path.mkdir(parents=True)
+
+    num_shards = max(1, getattr(store, "num_shards", 1))
+    buckets: list[list[tuple[int, str, np.ndarray]]] = [
+        [] for _ in range(num_shards)
+    ]
+    for sequence, (digest, clip) in enumerate(store.items()):
+        buckets[shard_of(digest, num_shards)].append((sequence, digest, clip))
+
+    shard_files: dict[str, int] = {}
+    for shard, bucket in enumerate(buckets):
+        if not bucket:
+            continue
+        filename = _shard_filename(shard)
+        save_clips(
+            path / filename,
+            [clip for _, _, clip in bucket],
+            meta={
+                "shard": shard,
+                "num_shards": num_shards,
+                "sequence": [sequence for sequence, _, _ in bucket],
+                "hashes": [digest for _, digest, _ in bucket],
+            },
+        )
+        shard_files[filename] = len(bucket)
+
+    manifest = {
+        "format": _FORMAT,
+        "name": store.name,
+        "num_shards": num_shards,
+        "count": len(store),
+        "shards": shard_files,
+    }
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def _load_entries(path: Path) -> tuple[dict, list[tuple[int, str, np.ndarray]]]:
+    """Manifest plus (sequence, digest, clip) entries in insertion order."""
+    if not is_library_dir(path):
+        raise FileNotFoundError(f"no {MANIFEST_NAME} under {path}")
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    if manifest.get("format") != _FORMAT:
+        raise ValueError(f"unsupported library format {manifest.get('format')!r}")
+    entries: list[tuple[int, str, np.ndarray]] = []
+    for filename in manifest.get("shards", {}):
+        clips, meta = load_clips(path / filename)
+        entries.extend(zip(meta["sequence"], meta["hashes"], clips))
+    entries.sort(key=lambda entry: entry[0])
+    if len(entries) != manifest.get("count", len(entries)):
+        raise ValueError(
+            f"{path}: manifest promises {manifest['count']} clips, "
+            f"shards hold {len(entries)}"
+        )
+    return manifest, entries
+
+
+def load_library(
+    path: "str | Path",
+    *,
+    num_shards: int | None = None,
+    name: str | None = None,
+) -> ShardedStore:
+    """Rebuild a store from a snapshot, preserving insertion order.
+
+    ``num_shards`` re-partitions on load (sharding is content-derived, so
+    any shard count yields the same library); by default the snapshot's
+    own layout is kept.
+    """
+    path = Path(path)
+    manifest, entries = _load_entries(path)
+    store = ShardedStore(
+        num_shards=num_shards or int(manifest["num_shards"]),
+        name=name or manifest.get("name", "library"),
+    )
+    store.merge(
+        ShardDelta(
+            offset=0,
+            hashes=[digest for _, digest, _ in entries],
+            clips=[clip for _, _, clip in entries],
+        )
+    )
+    return store
+
+
+def merge_libraries(
+    sources: "list[str | Path]",
+    *,
+    num_shards: int | None = None,
+    name: str = "merged",
+) -> ShardedStore:
+    """Merge snapshot directories into one store, deterministically.
+
+    The first source defines the base ordering (and the default shard
+    count); each later source appends only its not-yet-seen patterns, in
+    that source's insertion order.  The result is therefore identical for
+    a fixed source list regardless of where each snapshot was produced.
+    """
+    if not sources:
+        raise ValueError("need at least one source library")
+    first = load_library(sources[0], num_shards=num_shards, name=name)
+    for source in sources[1:]:
+        first.merge(store_delta(load_library(source)))
+    return first

@@ -1,0 +1,175 @@
+"""Hash-prefix sharded library store.
+
+:class:`ShardedStore` partitions patterns across ``num_shards`` disjoint
+hash populations (leading bits of the content digest, see
+:func:`repro.library.store.shard_of`), so per-shard statistics are
+recomputed only for shards that actually changed and shards can be
+persisted / merged independently (:mod:`repro.library.persist`).
+Novelty itself is decided against one flat digest set — duplicates are
+rejected without even computing their shard.
+
+Global insertion order is tracked explicitly — shard membership is a
+storage detail and must never leak into experiment-visible ordering, so a
+sharded store with any shard count is bit-identical (contents *and*
+order) to an :class:`~repro.library.store.InMemoryStore` fed the same
+candidate stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..metrics.diversity import (
+    LibrarySummary,
+    ShardSummary,
+    rollup_summaries,
+    summarize_shard,
+)
+from .store import ShardDelta, pattern_hash, shard_of, validate_clip
+
+__all__ = ["ShardedStore"]
+
+
+class ShardedStore:
+    """Clip store partitioned by pattern-hash prefix.
+
+    Implements the same :class:`~repro.library.store.LibraryStore`
+    protocol as ``InMemoryStore``; admission order is globally preserved
+    regardless of which shard each clip lands in.  ``summary()`` rolls up
+    per-shard :class:`~repro.metrics.diversity.ShardSummary` caches, so
+    after a round that touched k of N shards only those k are rescanned.
+    """
+
+    def __init__(
+        self,
+        clips: Iterable[np.ndarray] = (),
+        *,
+        num_shards: int = 8,
+        name: str = "library",
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        self.name = name
+        self.num_shards = num_shards
+        self._order: list[np.ndarray] = []
+        self._order_hashes: list[str] = []
+        self._seen: set[str] = set()
+        self._shard_indices: list[list[int]] = [[] for _ in range(num_shards)]
+        # Per-shard summary caches, keyed by shard size (append-only).
+        self._shard_summaries: list[tuple[int, ShardSummary] | None] = [
+            None for _ in range(num_shards)
+        ]
+        self._summary_cache: tuple[int, LibrarySummary] | None = None
+        self._clips_cache: tuple[int, tuple[np.ndarray, ...]] | None = None
+        self.admit_many(clips)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def admit(self, clip: np.ndarray) -> bool:
+        digest = pattern_hash(clip)
+        if digest in self._seen:
+            return False
+        self._insert(shard_of(digest, self.num_shards), digest, clip)
+        return True
+
+    def admit_many(self, clips: Iterable[np.ndarray]) -> list[bool]:
+        clips = list(clips)
+        if not clips:
+            return []
+        return self.merge(ShardDelta.from_clips(clips))
+
+    def merge(self, delta: ShardDelta) -> list[bool]:
+        num_shards = self.num_shards
+        seen, shard_indices = self._seen, self._shard_indices
+        order_hashes = self._order_hashes
+        flags: list[bool] = []
+        admitted: list[int] = []
+        position = len(self._order)
+        for i, digest in enumerate(delta.hashes):
+            if digest in seen:
+                flags.append(False)
+                continue
+            seen.add(digest)
+            shard_indices[shard_of(digest, num_shards)].append(position)
+            position += 1
+            order_hashes.append(digest)
+            admitted.append(i)
+            flags.append(True)
+        self._order.extend(delta.take(admitted))
+        return flags
+
+    def _insert(self, shard: int, digest: str, clip: np.ndarray) -> None:
+        self._seen.add(digest)
+        self._shard_indices[shard].append(len(self._order))
+        self._order_hashes.append(digest)
+        self._order.append(validate_clip(clip))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[str, np.ndarray]]:
+        return zip(self._order_hashes, self._order)
+
+    @property
+    def clips(self) -> tuple[np.ndarray, ...]:
+        generation = len(self._order)
+        if self._clips_cache is None or self._clips_cache[0] != generation:
+            self._clips_cache = (generation, tuple(self._order))
+        return self._clips_cache[1]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._order)
+
+    def __contains__(self, clip: np.ndarray) -> bool:
+        return pattern_hash(clip) in self._seen
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Clip count per shard (diagnostic for balance)."""
+        return tuple(len(indices) for indices in self._shard_indices)
+
+    def shard_clips(self, shard: int) -> list[np.ndarray]:
+        """The clips stored in one shard, in global insertion order."""
+        return [self._order[i] for i in self._shard_indices[shard]]
+
+    def shard_summaries(self) -> tuple[ShardSummary, ...]:
+        """Per-shard summaries; only shards that grew are rescanned."""
+        out = []
+        for shard in range(self.num_shards):
+            size = len(self._shard_indices[shard])
+            cached = self._shard_summaries[shard]
+            if cached is None or cached[0] != size:
+                # Shards hold only distinct patterns: unique == size.
+                cached = (
+                    size,
+                    summarize_shard(self.shard_clips(shard), unique=size),
+                )
+                self._shard_summaries[shard] = cached
+            out.append(cached[1])
+        return tuple(out)
+
+    def summary(self) -> LibrarySummary:
+        generation = len(self._order)
+        if self._summary_cache is None or self._summary_cache[0] != generation:
+            self._summary_cache = (
+                generation,
+                rollup_summaries(self.shard_summaries()),
+            )
+        return self._summary_cache[1]
+
+    def copy(self) -> "ShardedStore":
+        """Independent duplicate; copies hash sets instead of re-hashing."""
+        dup = type(self)(num_shards=self.num_shards, name=self.name)
+        dup._order = list(self._order)
+        dup._order_hashes = list(self._order_hashes)
+        dup._seen = set(self._seen)
+        dup._shard_indices = [list(s) for s in self._shard_indices]
+        return dup

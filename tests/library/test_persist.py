@@ -1,0 +1,152 @@
+"""Snapshot persistence: lossless round trips and cross-library merges."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.library import (
+    MANIFEST_NAME,
+    InMemoryStore,
+    ShardedStore,
+    is_library_dir,
+    load_library,
+    merge_libraries,
+    save_library,
+)
+
+
+def clip(seed):
+    img = np.zeros((8, 8), dtype=np.uint8)
+    img[:, seed % 5 : seed % 5 + 2 + seed % 3] = 1
+    return img
+
+
+def assert_same_library(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+class TestRoundTrip:
+    def test_sharded_store_round_trips_losslessly(self, tmp_path):
+        store = ShardedStore(
+            [clip(i) for i in range(20)], num_shards=4, name="trip"
+        )
+        save_library(store, tmp_path / "lib")
+        loaded = load_library(tmp_path / "lib")
+        assert loaded.name == "trip"
+        assert loaded.num_shards == 4
+        assert_same_library(store, loaded)
+        got, want = loaded.summary(), store.summary()
+        assert (got.count, got.unique) == (want.count, want.unique)
+        assert got.h2 == pytest.approx(want.h2)
+
+    def test_in_memory_store_saves_as_single_shard(self, tmp_path):
+        store = InMemoryStore([clip(i) for i in range(6)], name="flat")
+        save_library(store, tmp_path / "lib")
+        manifest = json.loads((tmp_path / "lib" / MANIFEST_NAME).read_text())
+        assert manifest["num_shards"] == 1
+        assert_same_library(store, load_library(tmp_path / "lib"))
+
+    def test_load_can_reshard(self, tmp_path):
+        store = ShardedStore([clip(i) for i in range(15)], num_shards=2)
+        save_library(store, tmp_path / "lib")
+        loaded = load_library(tmp_path / "lib", num_shards=7)
+        assert loaded.num_shards == 7
+        assert_same_library(store, loaded)
+
+    def test_empty_store_round_trips(self, tmp_path):
+        save_library(ShardedStore(num_shards=3, name="empty"), tmp_path / "lib")
+        loaded = load_library(tmp_path / "lib")
+        assert len(loaded) == 0
+        assert list((tmp_path / "lib").glob("shard-*.npz")) == []
+
+    def test_resave_replaces_previous_snapshot(self, tmp_path):
+        store = ShardedStore([clip(i) for i in range(10)], num_shards=4)
+        save_library(store, tmp_path / "lib")
+        store.admit(clip(11))
+        save_library(store, tmp_path / "lib")
+        assert_same_library(store, load_library(tmp_path / "lib"))
+
+    def test_non_binary_input_round_trips_as_admitted(self, tmp_path):
+        # Stores normalise to binary {0, 1} on admission (the clip's hash
+        # identity); what a snapshot returns must equal what the store
+        # held, even for multi-valued or bool input rasters.
+        loud = np.full((8, 8), 5, dtype=np.uint8)
+        boolean = clip(1).astype(bool)
+        store = ShardedStore([loud, boolean], num_shards=2)
+        for held in store:
+            assert set(np.unique(held)) <= {0, 1}
+        save_library(store, tmp_path / "lib")
+        assert_same_library(store, load_library(tmp_path / "lib"))
+
+    def test_shard_files_are_plain_clip_archives(self, tmp_path):
+        from repro.io.clips import load_clips
+
+        store = ShardedStore([clip(i) for i in range(10)], num_shards=2)
+        save_library(store, tmp_path / "lib")
+        for file in (tmp_path / "lib").glob("shard-*.npz"):
+            clips, meta = load_clips(file)
+            assert len(clips) == len(meta["sequence"]) == len(meta["hashes"])
+
+
+class TestSafety:
+    def test_is_library_dir(self, tmp_path):
+        assert not is_library_dir(tmp_path)
+        save_library(InMemoryStore([clip(0)]), tmp_path / "lib")
+        assert is_library_dir(tmp_path / "lib")
+
+    def test_refuses_foreign_shard_files(self, tmp_path):
+        foreign = tmp_path / "not-ours"
+        foreign.mkdir()
+        (foreign / "shard-0000.npz").write_bytes(b"something else")
+        with pytest.raises(ValueError, match="refusing"):
+            save_library(InMemoryStore([clip(0)]), foreign)
+
+    def test_refuses_file_target(self, tmp_path):
+        target = tmp_path / "a-file"
+        target.write_text("x")
+        with pytest.raises(ValueError):
+            save_library(InMemoryStore([clip(0)]), target)
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_library(tmp_path)
+
+    def test_load_detects_count_mismatch(self, tmp_path):
+        save_library(InMemoryStore([clip(i) for i in range(4)]), tmp_path / "lib")
+        manifest_path = tmp_path / "lib" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["count"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="promises"):
+            load_library(tmp_path / "lib")
+
+
+class TestMerge:
+    def test_merge_dedups_and_keeps_first_source_order(self, tmp_path):
+        a = ShardedStore([clip(i) for i in range(8)], num_shards=2, name="a")
+        b = ShardedStore([clip(i) for i in range(4, 12)], num_shards=4, name="b")
+        save_library(a, tmp_path / "a")
+        save_library(b, tmp_path / "b")
+        merged = merge_libraries([tmp_path / "a", tmp_path / "b"])
+        expected = list(a.clips) + [
+            c for c in b.clips if c not in a
+        ]
+        assert_same_library(merged, expected)
+        assert merged.num_shards == a.num_shards  # first source's layout
+
+    def test_merge_is_deterministic_across_save_shapes(self, tmp_path):
+        clips = [clip(i) for i in range(10)]
+        save_library(ShardedStore(clips, num_shards=2), tmp_path / "two")
+        save_library(ShardedStore(clips, num_shards=5), tmp_path / "five")
+        extra = [clip(i) for i in range(6, 14)]
+        save_library(ShardedStore(extra, num_shards=3), tmp_path / "extra")
+        m1 = merge_libraries([tmp_path / "two", tmp_path / "extra"], num_shards=4)
+        m2 = merge_libraries([tmp_path / "five", tmp_path / "extra"], num_shards=4)
+        assert_same_library(m1, m2)
+
+    def test_merge_requires_sources(self):
+        with pytest.raises(ValueError):
+            merge_libraries([])

@@ -1,0 +1,259 @@
+"""Unit tests for the library stores: dedup, order, sharding, caching."""
+
+import numpy as np
+import pytest
+
+import repro.library.sharded as sharded_mod
+import repro.library.store as store_mod
+from repro.core.library import PatternLibrary
+from repro.library import (
+    InMemoryStore,
+    LibraryStore,
+    ShardDelta,
+    ShardedStore,
+    compute_delta,
+    shard_of,
+    store_delta,
+)
+from repro.metrics.diversity import summarize_library
+
+
+def clip(seed):
+    """A wire clip whose offset/width vary with the seed (distinct H2
+    geometry classes — dense random noise would all share one class)."""
+    img = np.zeros((8, 8), dtype=np.uint8)
+    offset = seed % 5
+    width = 2 + seed % 3
+    img[:, offset : offset + width] = 1
+    return img
+
+
+UNIQUE = 12  # distinct clips producible by clip() (5 offsets x 3 widths, clipped)
+
+
+def stream(n, dup_every=3):
+    """n clips with a duplicate every ``dup_every`` positions."""
+    return [clip(i if i % dup_every else 0) for i in range(n)]
+
+
+@pytest.fixture(params=["memory", "sharded", "facade"])
+def store(request):
+    if request.param == "memory":
+        return InMemoryStore()
+    if request.param == "facade":
+        return PatternLibrary()
+    return ShardedStore(num_shards=4)
+
+
+class TestStoreSemantics:
+    def test_satisfies_protocol(self, store):
+        assert isinstance(store, LibraryStore)
+
+    def test_admit_deduplicates(self, store):
+        assert store.admit(clip(0))
+        assert not store.admit(clip(0))
+        assert len(store) == 1
+
+    def test_admit_many_returns_per_clip_flags(self, store):
+        flags = store.admit_many([clip(0), clip(1), clip(0), clip(2)])
+        assert flags == [True, True, False, True]
+        assert len(store) == 3
+
+    def test_insertion_order_preserved(self, store):
+        store.admit_many([clip(3), clip(1), clip(2)])
+        np.testing.assert_array_equal(store.clips[0], clip(3))
+        np.testing.assert_array_equal(store.clips[2], clip(2))
+
+    def test_contains(self, store):
+        store.admit(clip(0))
+        assert clip(0) in store
+        assert clip(1) not in store
+
+    def test_clips_is_immutable_tuple(self, store):
+        store.admit_many([clip(0), clip(1)])
+        view = store.clips
+        assert isinstance(view, tuple)
+        with pytest.raises((TypeError, AttributeError)):
+            view.append(clip(2))  # type: ignore[attr-defined]
+        # Mutating what the caller passed in must not reach the store.
+        source = clip(3)
+        store.admit(source)
+        source[0, 0] ^= 1
+        assert not np.array_equal(store.clips[-1], source)
+
+    def test_items_pair_digests_with_clips(self, store):
+        from repro.geometry.hashing import pattern_hash
+
+        store.admit_many([clip(0), clip(1)])
+        items = list(store.items())
+        assert [digest for digest, _ in items] == [
+            pattern_hash(c) for _, c in items
+        ]
+
+    def test_copy_is_independent(self, store):
+        store.admit(clip(0))
+        dup = store.copy()
+        dup.admit(clip(1))
+        assert len(store) == 1
+        assert len(dup) == 2
+        assert clip(1) in dup and clip(1) not in store
+
+    def test_merge_rejects_delta_internal_duplicates(self, store):
+        delta = compute_delta([clip(0), clip(1), clip(0)])
+        assert store.merge(delta) == [True, True, False]
+
+    def test_summary_matches_flat_computation(self, store):
+        store.admit_many([clip(i) for i in range(7)])
+        expected = summarize_library(list(store.clips))
+        got = store.summary()
+        assert got.count == expected.count
+        assert got.unique == expected.unique
+        assert got.h1 == pytest.approx(expected.h1)
+        assert got.h2 == pytest.approx(expected.h2)
+        assert got.mean_density == pytest.approx(expected.mean_density)
+
+
+class TestCopyDoesNotRehash:
+    def test_facade_copy_skips_hashing(self, monkeypatch):
+        library = PatternLibrary([clip(i) for i in range(5)])
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("copy() must not re-hash clips")
+
+        monkeypatch.setattr(store_mod, "pattern_hash", boom)
+        monkeypatch.setattr(store_mod, "pattern_hashes", boom)
+        dup = library.copy()
+        assert len(dup) == 5
+
+    def test_sharded_copy_skips_hashing(self, monkeypatch):
+        store = ShardedStore([clip(i) for i in range(5)], num_shards=3)
+        monkeypatch.setattr(
+            sharded_mod,
+            "pattern_hash",
+            lambda *a: (_ for _ in ()).throw(AssertionError("re-hash")),
+        )
+        dup = store.copy()
+        assert len(dup) == 5
+        assert dup.shard_sizes() == store.shard_sizes()
+
+
+class TestSummaryCaching:
+    def test_in_memory_summary_cached_per_generation(self, monkeypatch):
+        calls = {"n": 0}
+        real = store_mod.summarize_library
+
+        def counting(clips, **kwargs):
+            calls["n"] += 1
+            return real(clips, **kwargs)
+
+        monkeypatch.setattr(store_mod, "summarize_library", counting)
+        store = InMemoryStore([clip(i) for i in range(5)])
+        store.summary()
+        store.summary()
+        store.summary()
+        assert calls["n"] == 1
+        store.admit(clip(7))
+        store.summary()
+        store.summary()
+        assert calls["n"] == 2
+
+    def test_sharded_rescans_only_dirty_shards(self, monkeypatch):
+        scanned = []
+        real = sharded_mod.summarize_shard
+
+        def counting(clips, **kwargs):
+            scanned.append(len(list(clips)))
+            return real(clips, **kwargs)
+
+        monkeypatch.setattr(sharded_mod, "summarize_shard", counting)
+        store = ShardedStore([clip(i) for i in range(9)], num_shards=4)
+        store.summary()
+        first_pass = len(scanned)
+        assert first_pass == 4  # every shard scanned once
+        store.summary()
+        assert len(scanned) == first_pass  # fully cached
+
+        new = clip(10)
+        assert new not in store
+        store.admit(new)
+        store.summary()
+        # Exactly the one shard that grew is rescanned.
+        assert len(scanned) == first_pass + 1
+
+    def test_store_summary_skips_uniqueness_rehash(self, monkeypatch):
+        import repro.metrics.diversity as diversity_mod
+
+        flat = InMemoryStore([clip(i) for i in range(5)])
+        shard = ShardedStore([clip(i) for i in range(5)], num_shards=3)
+        monkeypatch.setattr(
+            diversity_mod,
+            "unique_count",
+            lambda *a: (_ for _ in ()).throw(
+                AssertionError("summary() must not re-hash a dedup store")
+            ),
+        )
+        assert flat.summary().unique == 5
+        assert shard.summary().unique == 5
+
+
+class TestSharding:
+    @pytest.mark.parametrize("num_shards", [1, 3, 8])
+    def test_contents_and_order_match_in_memory(self, num_shards):
+        clips = stream(30)
+        flat = InMemoryStore(clips)
+        shard = ShardedStore(clips, num_shards=num_shards)
+        assert len(flat) == len(shard)
+        for a, b in zip(flat, shard):
+            np.testing.assert_array_equal(a, b)
+
+    def test_partition_follows_hash_prefix(self):
+        from repro.geometry.hashing import pattern_hash
+
+        store = ShardedStore([clip(i) for i in range(UNIQUE)], num_shards=4)
+        for shard in range(store.num_shards):
+            for c in store.shard_clips(shard):
+                assert shard_of(pattern_hash(c), store.num_shards) == shard
+
+    def test_shard_sizes_sum_to_len(self):
+        store = ShardedStore(stream(25), num_shards=5)
+        assert sum(store.shard_sizes()) == len(store)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedStore(num_shards=0)
+
+
+class TestDeltaProtocol:
+    def test_offsets_and_local_dedup(self):
+        clips = [clip(0), clip(0), clip(1)]
+        delta = compute_delta(clips, offset=10)
+        assert delta.offset == 10
+        assert delta.local_new == [True, False, True]
+        assert len(delta) == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ShardDelta(offset=0, hashes=["a"], clips=[])
+
+    def test_store_delta_round_trips_between_stores(self):
+        src = ShardedStore(stream(12), num_shards=3, name="src")
+        dst = InMemoryStore([clip(0)])
+        flags = dst.merge(store_delta(src))
+        assert len(flags) == len(src)
+        # Everything except the patterns dst already held is admitted.
+        expected = [c for c in src.clips if not np.array_equal(c, clip(0))]
+        assert len(dst) == 1 + len(expected)
+        for a, b in zip(list(dst)[1:], expected):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestFacade:
+    def test_add_and_add_many_vocabulary(self):
+        library = PatternLibrary()
+        assert library.add(clip(0))
+        assert not library.add(clip(0))
+        assert library.add_many([clip(0), clip(1), clip(2)]) == 2
+        assert len(library) == 3
+
+    def test_facade_is_a_store(self):
+        assert isinstance(PatternLibrary(), InMemoryStore)

@@ -19,6 +19,21 @@ class TestParser:
         assert parser.parse_args(["table1"]).command == "table1"
         assert parser.parse_args(["zoo", "list"]).action == "list"
 
+    def test_library_commands_parse(self):
+        parser = build_parser()
+        info = parser.parse_args(["library", "info", "d"])
+        assert info.command == "library"
+        assert info.library_command == "info"
+        merge = parser.parse_args(["library", "merge", "out", "a", "b"])
+        assert merge.library_command == "merge"
+        assert merge.sources == ["a", "b"]
+        gen = parser.parse_args(
+            ["generate", "--out", "x.npz", "--library-shards", "4",
+             "--library-dir", "lib"]
+        )
+        assert gen.library_shards == 4
+        assert gen.library_dir == "lib"
+
 
 class TestGenerateAndDrc:
     def test_generate_writes_library(self, tmp_path, capsys):
@@ -76,3 +91,116 @@ class TestGenerateAndDrc:
         code = main(["zoo", "list"])
         assert code == 0
         assert "no artifacts" in capsys.readouterr().out
+
+
+class TestLibraryWorkflow:
+    def test_generate_persists_and_dedups_across_runs(self, tmp_path, capsys):
+        lib_dir = tmp_path / "lib"
+        out1 = tmp_path / "one.npz"
+        code = main([
+            "generate", "-n", "4", "--seed", "3", "--out", str(out1),
+            "--library-shards", "4", "--library-dir", str(lib_dir),
+        ])
+        assert code == 0
+        assert (lib_dir / "library.json").exists()
+
+        # Second run, same seed: every clip is a duplicate of the snapshot.
+        out2 = tmp_path / "two.npz"
+        code = main([
+            "generate", "-n", "4", "--seed", "3", "--out", str(out2),
+            "--library-dir", str(lib_dir),
+        ])
+        assert code == 1  # nothing new
+        assert not out2.exists()
+        captured = capsys.readouterr().out
+        assert "loaded 4 clips" in captured
+
+        # Different seed grows the snapshot.
+        code = main([
+            "generate", "-n", "4", "--seed", "9", "--out", str(out2),
+            "--library-dir", str(lib_dir),
+        ])
+        from repro.library import load_library
+
+        store = load_library(lib_dir)
+        assert len(store) > 4
+        if code == 0:
+            from repro.io import load_clips
+
+            clips, _ = load_clips(out2)
+            assert len(clips) == len(store) - 4
+
+    def test_generate_keeps_snapshot_shard_layout(self, tmp_path, capsys):
+        lib_dir = tmp_path / "lib"
+        main([
+            "generate", "-n", "3", "--out", str(tmp_path / "x.npz"),
+            "--library-shards", "4", "--library-dir", str(lib_dir),
+        ])
+        # No --library-shards on the second run: layout must survive.
+        main([
+            "generate", "-n", "3", "--seed", "9",
+            "--out", str(tmp_path / "y.npz"), "--library-dir", str(lib_dir),
+        ])
+        from repro.library import load_library
+
+        assert load_library(lib_dir).num_shards == 4
+
+    def test_generate_rejects_bad_library_dir_before_running(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "file.txt"
+        target.write_text("not a directory")
+        code = main([
+            "generate", "-n", "3", "--out", str(tmp_path / "x.npz"),
+            "--library-dir", str(target),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_library_info(self, tmp_path, capsys):
+        lib_dir = tmp_path / "lib"
+        main([
+            "generate", "-n", "3", "--out", str(tmp_path / "x.npz"),
+            "--library-shards", "2", "--library-dir", str(lib_dir),
+        ])
+        capsys.readouterr()
+        code = main(["library", "info", str(lib_dir)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "3 clips in 2 shards" in captured
+        assert "H2=" in captured
+
+    def test_library_info_missing_dir(self, tmp_path, capsys):
+        code = main(["library", "info", str(tmp_path / "nope")])
+        assert code == 2
+
+    def test_library_merge(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.library import ShardedStore, load_library, save_library
+
+        def clip(seed):
+            img = np.zeros((8, 8), dtype=np.uint8)
+            img[:, seed % 5 : seed % 5 + 2 + seed % 3] = 1
+            return img
+
+        save_library(
+            ShardedStore([clip(i) for i in range(6)], num_shards=2),
+            tmp_path / "a",
+        )
+        save_library(
+            ShardedStore([clip(i) for i in range(3, 9)], num_shards=3),
+            tmp_path / "b",
+        )
+        code = main([
+            "library", "merge", str(tmp_path / "out"),
+            str(tmp_path / "a"), str(tmp_path / "b"), "--shards", "4",
+        ])
+        assert code == 0
+        merged = load_library(tmp_path / "out")
+        assert merged.num_shards == 4
+        assert "duplicates" in capsys.readouterr().out
+        combined = {
+            tuple(c.flatten()) for c in load_library(tmp_path / "a")
+        } | {tuple(c.flatten()) for c in load_library(tmp_path / "b")}
+        assert len(merged) == len(combined)
