@@ -40,7 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "(built-in: patternpaint, diffpattern, cup, rule, "
                           "solver; user-registered names also work)")
     gen.add_argument("-j", "--jobs", type=_positive_int, default=1,
-                     help="worker count for the denoise/DRC stages")
+                     help="worker count for the denoise/DRC stages (also "
+                          "the default for the model stage, see "
+                          "--model-jobs)")
+    gen.add_argument("--model-jobs", type=_positive_int, default=None,
+                     metavar="N",
+                     help="process workers for the model sampling stage "
+                          "itself (model-backed backends; chunks of the "
+                          "model batch fan out to worker-local models, "
+                          "bit-identical to serial; default: --jobs)")
     gen.add_argument("-n", "--count", type=_positive_int, default=20)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", required=True, help="output .npz path")
@@ -118,8 +126,14 @@ def _cmd_generate(args) -> int:
     from .zoo.corpora import EXPERIMENT_GRID
 
     deck = deck_by_name(args.deck, EXPERIMENT_GRID)
+    model_jobs = args.model_jobs if args.model_jobs is not None else args.jobs
+    backend_kwargs = {"deck": deck}
+    if args.backend == "patternpaint":
+        # Reach the model stage itself: the patternpaint backend runs its
+        # own pipeline/executor, so worker counts plumb through here.
+        backend_kwargs.update(jobs=args.jobs, model_jobs=model_jobs)
     try:
-        backend = get_backend(args.backend, deck=deck)
+        backend = get_backend(args.backend, **backend_kwargs)
     except ValueError as error:
         print(f"repro generate: error: {error}", file=sys.stderr)
         return 2
@@ -147,9 +161,20 @@ def _cmd_generate(args) -> int:
     request = GenerationRequest(
         backend=args.backend, count=args.count, seed=args.seed, deck=deck
     )
-    batch = run_generation(
-        request, jobs=args.jobs, backend=backend, library=store
-    )
+    try:
+        batch = run_generation(
+            request,
+            jobs=args.jobs,
+            model_jobs=model_jobs,
+            backend=backend,
+            library=store,
+        )
+    finally:
+        # Backends that own a pipeline (patternpaint) hold worker pools;
+        # close them so the CLI exits cleanly.
+        close = getattr(backend, "close", None)
+        if callable(close):
+            close()
     # Only this run's admissions go to --out; the snapshot dir keeps all.
     clips = list(batch.library.clips[preloaded:])
     if args.library_dir:

@@ -30,10 +30,11 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..diffusion.ddpm import Ddpm, clips_to_model_space
-from ..diffusion.inpaint import InpaintConfig, inpaint
+from ..diffusion.ddpm import Ddpm
+from ..diffusion.inpaint import InpaintConfig
 from ..drc.decks import RuleDeck
 from ..engine.executor import BatchExecutor, ExecutorConfig
+from ..engine.modelpool import InpaintModelSpec, inpaint_jobs, publish_model
 from ..library import LibraryStore, ShardedStore
 from .library import PatternLibrary
 from .masks import MaskScheduler, all_masks
@@ -52,11 +53,13 @@ class PatternPaintConfig:
     ``keep_raw`` retains pre-denoise model outputs with their templates so
     the Table III harness can re-score them under different denoisers.
     ``jobs``/``pool`` configure the executor's denoise/DRC worker pool
-    (1 = serial; results are identical either way).  ``library_shards``
-    selects the library store the run admits into (1 = the classic
-    single-population store; >1 = a hash-prefix
-    :class:`~repro.library.ShardedStore`); contents and order are
-    identical for any shard count.
+    (1 = serial; results are identical either way).  ``model_jobs`` fans
+    the inpainting model stage itself out over process workers (chunks of
+    ``model_batch`` jobs, worker-local rehydrated models; bit-identical
+    to serial for a fixed seed).  ``library_shards`` selects the library
+    store the run admits into (1 = the classic single-population store;
+    >1 = a hash-prefix :class:`~repro.library.ShardedStore`); contents
+    and order are identical for any shard count.
     """
 
     inpaint: InpaintConfig = field(default_factory=InpaintConfig)
@@ -71,6 +74,7 @@ class PatternPaintConfig:
     keep_raw: bool = False
     jobs: int = 1
     pool: str = "thread"
+    model_jobs: int = 1
     library_shards: int = 1
 
 
@@ -138,6 +142,7 @@ class PatternPaint:
                 model_batch=self.config.model_batch,
                 jobs=self.config.jobs,
                 pool=self.config.pool,
+                model_jobs=self.config.model_jobs,
                 denoise=self.config.denoise,
             ),
         )
@@ -148,6 +153,16 @@ class PatternPaint:
     def clip_shape(self) -> tuple[int, int]:
         """(H, W) of the clips this pipeline generates."""
         return self._shape
+
+    def close(self) -> None:
+        """Shut down the executor's persistent worker pools (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "PatternPaint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def new_library(self) -> LibraryStore:
         """A fresh store per ``config.library_shards`` (facade when 1)."""
@@ -186,8 +201,11 @@ class PatternPaint:
         """Run inpainting for parallel (template, mask) jobs.
 
         Returns float model outputs (N entries, each (H, W) in [-1, 1]) and
-        the wall-clock seconds spent in the sampler.  Chunking into model
-        batches is the executor's job.
+        the wall-clock seconds spent in the sampler.  Chunking, per-chunk
+        rng spawning and (with ``config.model_jobs > 1``) process-pool
+        fan-out are the executor's job; sampling always runs through the
+        model's inference fast path, which is bit-identical to the
+        training-mode forward.
         """
 
         def model_fn(
@@ -195,21 +213,41 @@ class PatternPaint:
             chunk_m: list[np.ndarray],
             chunk_rng: np.random.Generator,
         ) -> list[np.ndarray]:
-            known = clips_to_model_space(chunk_t)
-            mask_arr = np.stack([np.asarray(m, dtype=bool) for m in chunk_m])[
-                :, None
-            ]
-            x = inpaint(
+            return inpaint_jobs(
                 self.ddpm.model,
                 self.ddpm.schedule,
-                known,
-                mask_arr,
+                chunk_t,
+                chunk_m,
                 chunk_rng,
                 self.config.inpaint,
             )
-            return list(x[:, 0])
 
-        return self.executor.run_model_batched(model_fn, templates, masks, rng)
+        return self.executor.run_model_batched(
+            model_fn, templates, masks, rng, spec=self._spec(len(templates))
+        )
+
+    def _spec(self, num_jobs: int) -> "InpaintModelSpec | None":
+        """The picklable model spec for pooled sampling.
+
+        Only built when the executor will actually fan the model stage
+        out — ``model_jobs > 1`` *and* the batch spans more than one
+        model chunk.  Publishing is content-addressed, so an unchanged
+        model maps to the same checkpoint file (written once, rehydrated
+        once per worker) while mutated weights automatically get a fresh
+        one — re-hashing the parameters each round (sub-MB at repro
+        scale, a few ms against seconds of sampling) buys that
+        robustness without a weight-version protocol.
+        """
+        if self.config.model_jobs <= 1:
+            return None
+        chunks = -(-num_jobs // self.config.model_batch)
+        if chunks <= 1:
+            return None
+        return InpaintModelSpec(
+            checkpoint=publish_model(self.ddpm.model),
+            betas=np.ascontiguousarray(self.ddpm.schedule.betas).tobytes(),
+            config=self.config.inpaint,
+        )
 
     def denoise_and_check(
         self,

@@ -9,6 +9,7 @@ from .finetune import (
     self_refine,
 )
 from .inpaint import InpaintConfig, inpaint
+from .plan import SamplerPlan, sampler_plan
 from .sampler import ddim_sample, ddpm_sample, strided_timesteps
 from .schedule import NoiseSchedule, cosine_schedule, linear_schedule
 
@@ -17,6 +18,7 @@ __all__ = [
     "FinetuneConfig",
     "InpaintConfig",
     "NoiseSchedule",
+    "SamplerPlan",
     "TrainResult",
     "clips_to_model_space",
     "clone_ddpm",
@@ -28,6 +30,7 @@ __all__ = [
     "inpaint",
     "linear_schedule",
     "model_space_to_clips",
+    "sampler_plan",
     "self_refine",
     "strided_timesteps",
 ]

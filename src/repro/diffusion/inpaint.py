@@ -18,8 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn.unet import TimeUnet
+from .plan import sampler_plan
 from .schedule import NoiseSchedule
-from .sampler import strided_timesteps
 
 __all__ = ["InpaintConfig", "inpaint"]
 
@@ -85,33 +85,54 @@ def inpaint(
     m = _broadcast_mask(mask, known.shape)
     n = known.shape[0]
 
-    timesteps = strided_timesteps(schedule.num_steps, config.num_steps)
+    # All per-step coefficients (sigma, direction, re-noise ratios) come
+    # from the cached plan — one table lookup per step instead of schedule
+    # gathers and scalar re-derivation.  The arithmetic per step is the
+    # same expressions on the same float64 values, so outputs are
+    # bit-identical to the derivation-in-the-loop formulation.
+    plan = sampler_plan(schedule, config.num_steps, config.eta)
     x = rng.standard_normal(known.shape).astype(np.float32)
 
-    for i, t in enumerate(timesteps):
-        t_prev = int(timesteps[i + 1]) if i + 1 < len(timesteps) else -1
-        ab = schedule.alpha_bars[t]
-        ab_prev = schedule.alpha_bars[t_prev] if t_prev >= 0 else 1.0
+    # Broadcastable (1, 1, 1, 1) views for the steps that replaced
+    # ``predict_x0``/``q_sample``: those computed with (n, 1, 1, 1) float64
+    # gathers, and shaped arrays (unlike numpy scalars) keep float64
+    # intermediates under numpy 1.x value-based promotion too, preserving
+    # bit-identity with the seed derivation on every supported numpy.
+    sqrt_ab_col = plan.sqrt_ab.reshape(-1, 1, 1, 1, 1)
+    sqrt_one_minus_ab_col = plan.sqrt_one_minus_ab.reshape(-1, 1, 1, 1, 1)
+    sqrt_ab_prev_col = plan.sqrt_ab_prev.reshape(-1, 1, 1, 1, 1)
+    sqrt_one_minus_ab_prev_col = plan.sqrt_one_minus_ab_prev.reshape(
+        -1, 1, 1, 1, 1
+    )
+
+    for i, t in enumerate(plan.timesteps):
+        t_prev = int(plan.t_prev[i])
+        sigma = plan.sigma[i]
         for jump in range(config.resample_jumps):
             t_vec = np.full(n, t, dtype=np.int64)
             eps = model.forward(x, t_vec)
-            x0_hat = schedule.predict_x0(x, t_vec, eps)
+            x0_hat = np.clip(
+                (x - sqrt_one_minus_ab_col[i] * eps) / sqrt_ab_col[i],
+                -1.0,
+                1.0,
+            ).astype(np.float32)
 
-            # DDIM update toward t_prev for the unknown region.
-            sigma = config.eta * np.sqrt(
-                max((1.0 - ab_prev) / (1.0 - ab) * (1.0 - ab / ab_prev), 0.0)
+            # DDIM update toward t_prev for the unknown region (scalar
+            # coefficients here, exactly like the seed loop's locals).
+            eps_implied = (x - plan.sqrt_ab[i] * x0_hat) / plan.sqrt_one_minus_ab[i]
+            x_unknown = (
+                plan.sqrt_ab_prev[i] * x0_hat + plan.dir_coeff[i] * eps_implied
             )
-            eps_implied = (x - np.sqrt(ab) * x0_hat) / np.sqrt(1.0 - ab)
-            dir_coeff = np.sqrt(max(1.0 - ab_prev - sigma**2, 0.0))
-            x_unknown = np.sqrt(ab_prev) * x0_hat + dir_coeff * eps_implied
             if sigma > 0 and t_prev >= 0:
                 x_unknown = x_unknown + sigma * rng.standard_normal(known.shape)
 
             # Known region re-noised to the same level (Eq. 8 conditioning).
             if t_prev >= 0:
                 noise = rng.standard_normal(known.shape).astype(np.float32)
-                t_prev_vec = np.full(n, t_prev, dtype=np.int64)
-                x_known = schedule.q_sample(known, t_prev_vec, noise)
+                x_known = (
+                    sqrt_ab_prev_col[i] * known
+                    + sqrt_one_minus_ab_prev_col[i] * noise
+                ).astype(np.float32)
             else:
                 x_known = known
 
@@ -119,10 +140,10 @@ def inpaint(
 
             # RePaint resampling: diffuse back to level t and repeat.
             if jump < config.resample_jumps - 1 and t_prev >= 0:
-                ratio = ab / ab_prev
                 renoise = rng.standard_normal(known.shape).astype(np.float32)
                 x = (
-                    np.sqrt(ratio) * x + np.sqrt(1.0 - ratio) * renoise
+                    plan.sqrt_renoise[i] * x
+                    + plan.sqrt_one_minus_renoise[i] * renoise
                 ).astype(np.float32)
 
     return np.where(m, x, known).astype(np.float32)

@@ -8,6 +8,8 @@ exposed because the inpainting sampler builds on the same update rules.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..nn.unet import TimeUnet
@@ -16,14 +18,27 @@ from .schedule import NoiseSchedule
 __all__ = ["ddpm_sample", "ddim_sample", "strided_timesteps"]
 
 
+@lru_cache(maxsize=256)
+def _strided_timesteps_cached(
+    num_train_steps: int, num_sample_steps: int
+) -> np.ndarray:
+    ts = np.linspace(num_train_steps - 1, 0, num_sample_steps)
+    ts = np.ascontiguousarray(np.unique(ts.round().astype(np.int64))[::-1])
+    ts.setflags(write=False)
+    return ts
+
+
 def strided_timesteps(num_train_steps: int, num_sample_steps: int) -> np.ndarray:
-    """Descending, evenly spaced timesteps including the last (T-1) and 0."""
+    """Descending, evenly spaced timesteps including the last (T-1) and 0.
+
+    Memoised on the (hashable) step counts; the returned array is shared
+    and read-only.
+    """
     if not 1 <= num_sample_steps <= num_train_steps:
         raise ValueError(
             f"sample steps {num_sample_steps} must be in [1, {num_train_steps}]"
         )
-    ts = np.linspace(num_train_steps - 1, 0, num_sample_steps)
-    return np.unique(ts.round().astype(np.int64))[::-1]
+    return _strided_timesteps_cached(int(num_train_steps), int(num_sample_steps))
 
 
 def ddpm_sample(
@@ -63,27 +78,35 @@ def ddim_sample(
     num_steps: int = 25,
     eta: float = 0.0,
 ) -> np.ndarray:
-    """Strided DDIM sampling (Song et al.); ``eta`` interpolates to DDPM."""
-    timesteps = strided_timesteps(schedule.num_steps, num_steps)
+    """Strided DDIM sampling (Song et al.); ``eta`` interpolates to DDPM.
+
+    Per-step coefficients come from the cached
+    :func:`~repro.diffusion.plan.sampler_plan` table instead of being
+    re-derived from schedule gathers on every step; the update arithmetic
+    (and hence the output, for a fixed rng) is unchanged bit for bit.
+    """
+    from .plan import sampler_plan  # local import: plan imports this module
+
+    plan = sampler_plan(schedule, num_steps, eta)
     x = rng.standard_normal(shape).astype(np.float32)
     n = shape[0]
-    for i, t in enumerate(timesteps):
+    # (1, 1, 1, 1) views for the inlined predict_x0: shaped float64 arrays
+    # keep float64 intermediates under numpy 1.x value-based promotion,
+    # like the (n, 1, 1, 1) gathers they replaced.
+    sqrt_ab_col = plan.sqrt_ab.reshape(-1, 1, 1, 1, 1)
+    sqrt_one_minus_ab_col = plan.sqrt_one_minus_ab.reshape(-1, 1, 1, 1, 1)
+    for i, t in enumerate(plan.timesteps):
         t_vec = np.full(n, t, dtype=np.int64)
         eps = model.forward(x, t_vec)
-        x0_hat = schedule.predict_x0(x, t_vec, eps)
-        ab = schedule.alpha_bars[t]
-        ab_prev = (
-            schedule.alpha_bars[timesteps[i + 1]]
-            if i + 1 < len(timesteps)
-            else 1.0
-        )
-        sigma = eta * np.sqrt(
-            (1.0 - ab_prev) / (1.0 - ab) * (1.0 - ab / ab_prev)
-        )
+        x0_hat = np.clip(
+            (x - sqrt_one_minus_ab_col[i] * eps) / sqrt_ab_col[i],
+            -1.0,
+            1.0,
+        ).astype(np.float32)
+        sigma = plan.sigma[i]
         # Recompute the implied noise from the clipped x0 estimate.
-        eps_implied = (x - np.sqrt(ab) * x0_hat) / np.sqrt(1.0 - ab)
-        dir_coeff = np.sqrt(max(1.0 - ab_prev - sigma**2, 0.0))
-        x = np.sqrt(ab_prev) * x0_hat + dir_coeff * eps_implied
+        eps_implied = (x - plan.sqrt_ab[i] * x0_hat) / plan.sqrt_one_minus_ab[i]
+        x = plan.sqrt_ab_prev[i] * x0_hat + plan.dir_coeff[i] * eps_implied
         if sigma > 0:
             x = x + sigma * rng.standard_normal(shape)
         x = x.astype(np.float32)

@@ -7,6 +7,7 @@ derived quantity the trainer, samplers and inpainter need.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,6 +28,8 @@ class NoiseSchedule:
     alpha_bars: np.ndarray = field(init=False)
     alpha_bars_prev: np.ndarray = field(init=False)
     posterior_variance: np.ndarray = field(init=False)
+    sqrt_alpha_bars: np.ndarray = field(init=False)
+    sqrt_one_minus_alpha_bars: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
         betas = np.asarray(self.betas, dtype=np.float64)
@@ -43,10 +46,31 @@ class NoiseSchedule:
         object.__setattr__(self, "alpha_bars", alpha_bars)
         object.__setattr__(self, "alpha_bars_prev", alpha_bars_prev)
         object.__setattr__(self, "posterior_variance", posterior_variance)
+        # Gather tables: sqrt taken once here instead of per q_sample /
+        # predict_x0 call (sqrt-then-gather == gather-then-sqrt, bitwise).
+        object.__setattr__(self, "sqrt_alpha_bars", np.sqrt(alpha_bars))
+        object.__setattr__(
+            self, "sqrt_one_minus_alpha_bars", np.sqrt(1.0 - alpha_bars)
+        )
 
     @property
     def num_steps(self) -> int:
         return int(self.betas.size)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the beta sequence (cached per instance).
+
+        Keys process-wide memos — sampler plans, worker-side schedule
+        rehydration — so equivalent schedules share cached derivations.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = hashlib.sha1(
+                np.ascontiguousarray(self.betas).tobytes()
+            ).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def q_sample(
         self, x0: np.ndarray, t: np.ndarray, noise: np.ndarray
@@ -55,15 +79,17 @@ class NoiseSchedule:
 
         ``t`` is a per-sample integer array; broadcast over (N, C, H, W).
         """
-        ab = self.alpha_bars[np.asarray(t)].reshape(-1, 1, 1, 1)
-        return (
-            np.sqrt(ab) * x0 + np.sqrt(1.0 - ab) * noise
-        ).astype(np.float32)
+        idx = np.asarray(t)
+        scale = self.sqrt_alpha_bars[idx].reshape(-1, 1, 1, 1)
+        noise_scale = self.sqrt_one_minus_alpha_bars[idx].reshape(-1, 1, 1, 1)
+        return (scale * x0 + noise_scale * noise).astype(np.float32)
 
     def predict_x0(self, xt: np.ndarray, t: np.ndarray, eps: np.ndarray) -> np.ndarray:
         """Invert the forward process given a noise estimate, clipped to [-1, 1]."""
-        ab = self.alpha_bars[np.asarray(t)].reshape(-1, 1, 1, 1)
-        x0 = (xt - np.sqrt(1.0 - ab) * eps) / np.sqrt(ab)
+        idx = np.asarray(t)
+        scale = self.sqrt_alpha_bars[idx].reshape(-1, 1, 1, 1)
+        noise_scale = self.sqrt_one_minus_alpha_bars[idx].reshape(-1, 1, 1, 1)
+        x0 = (xt - noise_scale * eps) / scale
         return np.clip(x0, -1.0, 1.0).astype(np.float32)
 
 

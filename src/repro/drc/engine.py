@@ -16,7 +16,7 @@ thread or process pool for the initial (uncached) sweep.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -100,19 +100,22 @@ class DrcEngine:
         jobs: int = 1,
         pool: str = "thread",
         use_cache: bool = True,
+        executor: Executor | None = None,
     ) -> np.ndarray:
         """Boolean legality per clip, memoised and optionally pooled.
 
         Duplicate clips within the batch are checked once; previously seen
         clips (same deck, any engine instance) are cache hits.  ``jobs``
         > 1 fans the uncached sweep out over a ``"thread"`` or
-        ``"process"`` pool.
+        ``"process"`` pool; pass ``executor`` (a live pool of matching
+        ``pool`` kind, e.g. a :class:`~repro.engine.executor.BatchExecutor`
+        persistent pool) to reuse it instead of spinning one up per call.
         """
         clips = list(clips)
         if not clips:
             return np.zeros(0, dtype=bool)
         if not use_cache:
-            verdicts = self._sweep(clips, jobs=jobs, pool=pool)
+            verdicts = self._sweep(clips, jobs=jobs, pool=pool, executor=executor)
             return np.array(verdicts, dtype=bool)
 
         cache = self.cache
@@ -131,30 +134,42 @@ class DrcEngine:
             else:
                 results[key] = cached
         if todo_clips:
-            verdicts = self._sweep(todo_clips, jobs=jobs, pool=pool)
+            verdicts = self._sweep(todo_clips, jobs=jobs, pool=pool, executor=executor)
             for key, verdict in zip(todo_keys, verdicts):
                 results[key] = verdict
                 cache.put(key, verdict)
         return np.array([results[key] for key in keys], dtype=bool)
 
     def _sweep(
-        self, clips: list[np.ndarray], *, jobs: int, pool: str
+        self,
+        clips: list[np.ndarray],
+        *,
+        jobs: int,
+        pool: str,
+        executor: Executor | None = None,
     ) -> list[bool]:
-        """Run the full rule loop over clips, serial or pooled."""
+        """Run the full rule loop over clips, serial or pooled.
+
+        A provided ``executor`` is used as-is (and left open); otherwise a
+        transient pool of the requested kind is created for this sweep.
+        """
         if jobs <= 1 or len(clips) <= 1:
             return [self.is_clean(clip) for clip in clips]
         if pool == "thread":
-            with ThreadPoolExecutor(max_workers=jobs) as executor:
+            if executor is not None:
                 return list(executor.map(self.is_clean, clips))
+            with ThreadPoolExecutor(max_workers=jobs) as transient:
+                return list(transient.map(self.is_clean, clips))
         if pool == "process":
-            with ProcessPoolExecutor(max_workers=jobs) as executor:
+            args = ([self] * len(clips), clips)
+            chunksize = max(1, len(clips) // jobs)
+            if executor is not None:
                 return list(
-                    executor.map(
-                        _is_clean_uncached,
-                        [self] * len(clips),
-                        clips,
-                        chunksize=max(1, len(clips) // jobs),
-                    )
+                    executor.map(_is_clean_uncached, *args, chunksize=chunksize)
+                )
+            with ProcessPoolExecutor(max_workers=jobs) as transient:
+                return list(
+                    transient.map(_is_clean_uncached, *args, chunksize=chunksize)
                 )
         raise ValueError(f"unknown pool kind {pool!r} (use 'thread' or 'process')")
 
@@ -165,9 +180,12 @@ class DrcEngine:
         jobs: int = 1,
         pool: str = "thread",
         use_cache: bool = True,
+        executor: Executor | None = None,
     ) -> np.ndarray:
         """Boolean legality per clip for a batch (stacked array or list)."""
-        return self.check_batch(clips, jobs=jobs, pool=pool, use_cache=use_cache)
+        return self.check_batch(
+            clips, jobs=jobs, pool=pool, use_cache=use_cache, executor=executor
+        )
 
     def filter_clean(
         self, clips: Iterable[np.ndarray]

@@ -68,13 +68,29 @@ class PatternPaintBackend:
         config: PatternPaintConfig | None = None,
         variant: str = "sd1-ft",
         templates: list[np.ndarray] | None = None,
+        jobs: int | None = None,
+        model_jobs: int | None = None,
     ):
+        from dataclasses import replace
+
         self._deck = deck if deck is not None else experiment_deck()
         self._ddpm = ddpm
-        self._config = config or PatternPaintConfig()
+        cfg = config or PatternPaintConfig()
+        if jobs is not None or model_jobs is not None:
+            cfg = replace(
+                cfg,
+                jobs=jobs if jobs is not None else cfg.jobs,
+                model_jobs=model_jobs if model_jobs is not None else cfg.model_jobs,
+            )
+        self._config = cfg
         self.variant = variant
         self._templates = list(templates) if templates is not None else None
         self._pipeline: PatternPaint | None = None
+
+    def close(self) -> None:
+        """Shut down the wrapped pipeline's worker pools, if it was built."""
+        if self._pipeline is not None:
+            self._pipeline.close()
 
     @property
     def deck(self) -> RuleDeck:

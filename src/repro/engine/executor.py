@@ -33,7 +33,7 @@ experiment harnesses.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -44,6 +44,7 @@ from ..core.template_denoise import TemplateDenoiseConfig, template_denoise
 from ..drc.engine import DrcEngine
 from ..geometry.raster import validate_clip
 from ..library import LibraryStore, compute_delta
+from .modelpool import InpaintModelSpec, run_inpaint_chunk
 from .registry import GeneratorBackend, get_backend
 from .request import GenerationBatch, GenerationRequest, StageTimings
 
@@ -67,18 +68,26 @@ class ExecutorConfig:
     """Execution knobs shared by every backend.
 
     ``jobs`` is the worker count for the denoise and DRC stages (1 =
-    serial); ``pool`` selects ``"thread"`` or ``"process"`` workers.
-    ``model_batch`` is the chunk size for :meth:`BatchExecutor.run_model_batched`.
+    serial); ``pool`` selects ``"thread"`` or ``"process"`` workers for
+    those stages.  ``model_jobs`` is the worker count for the *model*
+    stage: with ``model_jobs > 1`` (and a picklable model spec, see
+    :meth:`BatchExecutor.run_model_batched`) sampling chunks fan out over
+    the persistent **process** pool — the numpy model's inference
+    workspaces are per-instance, so model parallelism always uses
+    worker-local rehydrated models rather than shared-memory threads.
+    ``model_batch`` is the chunk size for
+    :meth:`BatchExecutor.run_model_batched`.
     ``admit_pool_threshold`` is the batch size below which
     :meth:`BatchExecutor.admit_batch` skips the worker pool and admits
-    with the store's own vectorised ``admit_many`` — per-call pool
-    spin-up dwarfs the hashing cost for small batches, and the admitted
+    with the store's own vectorised ``admit_many`` — pool dispatch
+    overhead dwarfs the hashing cost for small batches, and the admitted
     result is bit-identical either way.
     """
 
     model_batch: int = 32
     jobs: int = 1
     pool: str = "thread"
+    model_jobs: int = 1
     use_cache: bool = True
     denoise: TemplateDenoiseConfig = field(default_factory=TemplateDenoiseConfig)
     admit_pool_threshold: int = 4096
@@ -88,6 +97,8 @@ class ExecutorConfig:
             raise ValueError("model_batch must be positive")
         if self.jobs < 1:
             raise ValueError("jobs must be positive")
+        if self.model_jobs < 1:
+            raise ValueError("model_jobs must be positive")
         if self.pool not in ("thread", "process"):
             raise ValueError("pool must be 'thread' or 'process'")
 
@@ -103,13 +114,60 @@ class PostprocessResult:
 
 
 class BatchExecutor:
-    """Runs the shared generation machinery against one DRC engine."""
+    """Runs the shared generation machinery against one DRC engine.
+
+    The executor owns **persistent** worker pools for its lifetime: the
+    first pooled stage lazily creates the thread and/or process pool and
+    every later batch reuses it, instead of paying pool spin-up on each
+    ``denoise_batch``/``check_batch``/``admit_batch``/model-stage call.
+    Close the executor (``close()`` or a ``with`` block) to shut the
+    pools down; a closed executor lazily re-creates them if used again.
+    """
 
     def __init__(
         self, engine: DrcEngine, config: ExecutorConfig | None = None
     ):
         self.engine = engine
         self.config = config or ExecutorConfig()
+        self._pools: dict[tuple[str, int], Executor] = {}
+
+    # ------------------------------------------------------------------
+    # Persistent pools
+    # ------------------------------------------------------------------
+    def _pool(self, kind: str, workers: int) -> Executor:
+        """The lazily created persistent pool for ``(kind, workers)``.
+
+        Pools are keyed by worker count so each stage is bounded by its
+        own configured parallelism (``jobs`` for denoise/DRC/admit,
+        ``model_jobs`` for the model stage) even when both kinds share a
+        process pool; at most one pool per distinct (kind, size) pair
+        lives for the executor's lifetime.
+        """
+        key = (kind, workers)
+        pool = self._pools.get(key)
+        if pool is None:
+            if kind == "thread":
+                pool = ThreadPoolExecutor(max_workers=workers)
+            elif kind == "process":
+                pool = ProcessPoolExecutor(max_workers=workers)
+            else:
+                raise ValueError(
+                    f"unknown pool kind {kind!r} (use 'thread' or 'process')"
+                )
+            self._pools[key] = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the persistent pools (idempotent)."""
+        pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Stage helpers
@@ -123,22 +181,49 @@ class BatchExecutor:
         templates: list[np.ndarray],
         masks: list[np.ndarray],
         rng: np.random.Generator,
+        *,
+        spec: InpaintModelSpec | None = None,
     ) -> tuple[list[np.ndarray], float]:
         """Run ``model_fn`` over (template, mask) jobs in model-sized chunks.
 
+        Every chunk gets an independent child generator from
+        ``rng.spawn()`` (consumed in chunk order), so the concatenated
+        outputs are identical whether chunks run serially or on workers.
+        With ``model_jobs > 1`` and a picklable ``spec``
+        (:class:`~repro.engine.modelpool.InpaintModelSpec`), chunks are
+        dispatched to the persistent process pool, where each worker
+        rehydrates the checkpointed model once and samples in inference
+        mode — bit-identical to the serial path for a fixed seed.
+
         Returns the concatenated outputs and the wall-clock seconds spent
-        inside the model.
+        inside the model stage.
         """
         if len(templates) != len(masks):
             raise ValueError("templates and masks must pair up")
-        outputs: list[np.ndarray] = []
-        seconds = 0.0
+        if not templates:
+            return [], 0.0
         batch = self.config.model_batch
-        for start in range(0, len(templates), batch):
-            chunk_t = templates[start : start + batch]
-            chunk_m = masks[start : start + batch]
+        bounds = list(range(0, len(templates), batch))
+        chunks = [(start, min(start + batch, len(templates))) for start in bounds]
+        children = rng.spawn(len(chunks))
+        outputs: list[np.ndarray] = []
+        jobs = min(self.config.model_jobs, len(chunks))
+        if spec is not None and jobs > 1:
+            pool = self._pool("process", jobs)
             t0 = time.perf_counter()
-            outputs.extend(model_fn(chunk_t, chunk_m, rng))
+            futures = [
+                pool.submit(
+                    run_inpaint_chunk, spec, templates[lo:hi], masks[lo:hi], child
+                )
+                for (lo, hi), child in zip(chunks, children)
+            ]
+            for future in futures:
+                outputs.extend(future.result())
+            return outputs, time.perf_counter() - t0
+        seconds = 0.0
+        for (lo, hi), child in zip(chunks, children):
+            t0 = time.perf_counter()
+            outputs.extend(model_fn(templates[lo:hi], masks[lo:hi], child))
             seconds += time.perf_counter() - t0
         return outputs, seconds
 
@@ -168,31 +253,35 @@ class BatchExecutor:
                 for raw, template, child in zip(raws, templates, children)
             ]
         else:
-            pool_cls = (
-                ThreadPoolExecutor
-                if self.config.pool == "thread"
-                else ProcessPoolExecutor
-            )
-            with pool_cls(max_workers=jobs) as pool:
-                clips = list(
-                    pool.map(
-                        _denoise_one,
-                        raws,
-                        templates,
-                        [config] * len(raws),
-                        children,
-                    )
+            pool = self._pool(self.config.pool, self.config.jobs)
+            clips = list(
+                pool.map(
+                    _denoise_one,
+                    raws,
+                    templates,
+                    [config] * len(raws),
+                    children,
                 )
+            )
         return clips, time.perf_counter() - t0
 
     def check_batch(self, clips: Sequence[np.ndarray]) -> tuple[np.ndarray, float]:
-        """Cached, optionally pooled DRC sweep; returns (mask, seconds)."""
+        """Cached, optionally pooled DRC sweep; returns (mask, seconds).
+
+        With ``jobs > 1`` the engine sweeps uncached clips on this
+        executor's persistent pool instead of spinning one up per call.
+        """
         t0 = time.perf_counter()
         mask = self.engine.check_batch(
             clips,
             jobs=self.config.jobs,
             pool=self.config.pool,
             use_cache=self.config.use_cache,
+            executor=(
+                self._pool(self.config.pool, self.config.jobs)
+                if self.config.jobs > 1
+                else None
+            ),
         )
         return mask, time.perf_counter() - t0
 
@@ -221,19 +310,14 @@ class BatchExecutor:
             for lo, hi in zip(bounds[:-1], bounds[1:])
             if hi > lo
         ]
-        pool_cls = (
-            ThreadPoolExecutor
-            if self.config.pool == "thread"
-            else ProcessPoolExecutor
-        )
-        with pool_cls(max_workers=len(slices)) as pool:
-            deltas = list(
-                pool.map(
-                    compute_delta,
-                    [clips[lo:hi] for lo, hi in slices],
-                    [lo for lo, _ in slices],
-                )
+        pool = self._pool(self.config.pool, self.config.jobs)
+        deltas = list(
+            pool.map(
+                compute_delta,
+                [clips[lo:hi] for lo, hi in slices],
+                [lo for lo, _ in slices],
             )
+        )
         flags: list[bool] = []
         for delta in sorted(deltas, key=lambda d: d.offset):
             flags.extend(store.merge(delta))
@@ -321,6 +405,7 @@ def run_generation(
     *,
     jobs: int = 1,
     pool: str = "thread",
+    model_jobs: int = 1,
     backend: GeneratorBackend | None = None,
     executor: BatchExecutor | None = None,
     rng: np.random.Generator | None = None,
@@ -330,15 +415,18 @@ def run_generation(
 
     The DRC engine comes from ``request.deck`` when given, else from the
     backend's own deck; pass ``executor`` explicitly to reuse one (and its
-    warm DRC cache) across requests, and ``library`` to dedup against (and
-    grow) an existing store.
+    warm DRC cache and worker pools) across requests, and ``library`` to
+    dedup against (and grow) an existing store.  An executor created here
+    is closed before returning; a caller-provided one is left open.
     """
     if backend is None:
         kwargs = {"deck": request.deck} if request.deck is not None else {}
         backend = get_backend(request.backend, **kwargs)
-    if executor is None:
-        deck = request.deck if request.deck is not None else backend.deck
-        executor = BatchExecutor(
-            deck.engine(), ExecutorConfig(jobs=jobs, pool=pool)
-        )
-    return executor.run(request, backend=backend, rng=rng, library=library)
+    if executor is not None:
+        return executor.run(request, backend=backend, rng=rng, library=library)
+    deck = request.deck if request.deck is not None else backend.deck
+    with BatchExecutor(
+        deck.engine(),
+        ExecutorConfig(jobs=jobs, pool=pool, model_jobs=model_jobs),
+    ) as owned:
+        return owned.run(request, backend=backend, rng=rng, library=library)

@@ -4,7 +4,7 @@ from .blocks import ResBlock, SelfAttention2d, TimeMlp, sinusoidal_embedding
 from .layers import AvgPool2x, Conv2d, GroupNorm, Identity, Linear, SiLU, Upsample2x
 from .optim import Adam, Ema, clip_grad_norm, global_grad_norm
 from .serialize import load_into, load_module_state, save_module
-from .tensor import Module, Parameter, kaiming_normal, zeros_init
+from .tensor import Module, Parameter, inference_mode, kaiming_normal, zeros_init
 from .unet import TimeUnet, UNetConfig
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "Upsample2x",
     "clip_grad_norm",
     "global_grad_norm",
+    "inference_mode",
     "kaiming_normal",
     "load_into",
     "load_module_state",

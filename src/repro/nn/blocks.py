@@ -8,9 +8,11 @@ features.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-from .layers import Conv2d, GroupNorm, Identity, Linear, SiLU
+from .layers import Conv2d, GroupNorm, Identity, Linear, SiLU, gn_silu
 from .tensor import Module
 
 __all__ = ["sinusoidal_embedding", "TimeMlp", "ResBlock", "SelfAttention2d"]
@@ -30,6 +32,22 @@ def sinusoidal_embedding(t: np.ndarray, dim: int, *, max_period: float = 10_000.
     return np.concatenate([np.sin(args), np.cos(args)], axis=1).astype(np.float32)
 
 
+@lru_cache(maxsize=512)
+def _sinusoidal_cached(
+    t_bytes: bytes, dtype_str: str, dim: int, max_period: float
+) -> np.ndarray:
+    """Memoised timestep-embedding rows (parameter-free, so always valid).
+
+    Sampling calls the model with the same constant-``t`` vectors on every
+    batch — one entry per (timestep, batch-size) covers a whole schedule.
+    The cached array is marked read-only; consumers never mutate inputs.
+    """
+    t = np.frombuffer(t_bytes, dtype=np.dtype(dtype_str))
+    emb = sinusoidal_embedding(t, dim, max_period=max_period)
+    emb.setflags(write=False)
+    return emb
+
+
 class TimeMlp(Module):
     """Two-layer MLP on sinusoidal timestep features."""
 
@@ -40,7 +58,13 @@ class TimeMlp(Module):
         self.fc2 = Linear(dim * 2, dim * 2, rng)
 
     def forward(self, t: np.ndarray) -> np.ndarray:
-        emb = sinusoidal_embedding(t, self.dim)
+        if self.training:
+            emb = sinusoidal_embedding(t, self.dim)
+        else:
+            arr = np.ascontiguousarray(t)
+            emb = _sinusoidal_cached(
+                arr.tobytes(), arr.dtype.str, self.dim, 10_000.0
+            )
         return self.fc2(self.act(self.fc1(emb)))
 
     def backward(self, dout: np.ndarray) -> None:
@@ -80,6 +104,13 @@ class ResBlock(Module):
             self.skip = Conv2d(in_channels, out_channels, 1, rng, padding=0)
 
     def forward(self, x: np.ndarray, t_emb: np.ndarray) -> np.ndarray:
+        if not self.training:
+            # Fused GN->SiLU, in-place adds on the fresh conv outputs.
+            h = self.conv1(gn_silu(self.norm1, x))
+            h += self.time_proj(t_emb)[:, :, None, None]
+            h = self.conv2(gn_silu(self.norm2, h))
+            h += self.skip(x)
+            return h
         h = self.conv1(self.act1(self.norm1(x)))
         h = h + self.time_proj(t_emb)[:, :, None, None]
         h = self.conv2(self.act2(self.norm2(h)))
@@ -124,11 +155,15 @@ class SelfAttention2d(Module):
         # scores[n, i, j] = <q[:, i], k[:, j]> * scale (BLAS batched matmul).
         scores = np.matmul(q.transpose(0, 2, 1), k) * scale
         scores -= scores.max(axis=2, keepdims=True)
-        attn = np.exp(scores)
+        if self.training:
+            attn = np.exp(scores)
+        else:
+            attn = np.exp(scores, out=scores)  # scores is a fresh temporary
         attn /= attn.sum(axis=2, keepdims=True)  # (n, i, j), softmax over j
 
         out = np.matmul(v, attn.transpose(0, 2, 1)).reshape(n, c, h, w)
-        self._cache = (q, k, v, attn, scale, (n, c, h, w))
+        if self.training:
+            self._cache = (q, k, v, attn, scale, (n, c, h, w))
         return self.proj(out) + x
 
     def backward(self, dout: np.ndarray) -> np.ndarray:

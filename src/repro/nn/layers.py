@@ -5,6 +5,18 @@ implemented with ``sliding_window_view`` + ``tensordot`` (an im2col variant
 that never materializes the column matrix), which is the fastest pure-numpy
 formulation for the small kernels used here.  Every backward rule is
 verified against finite differences in ``tests/nn/test_gradients.py``.
+
+Every layer also carries an inference fast path, taken when
+``module.training`` is false (``Module.eval()`` / ``inference_mode``):
+no backward caches are recorded, the padded-input and im2col buffers are
+preallocated once per input shape and reused across timesteps, and the
+sigmoid inside :class:`SiLU` switches from masked fancy indexing to a
+vectorised formulation.  Both paths are bit-identical — the fast sigmoid
+evaluates exactly the same stable expressions (``exp(-|x|)`` equals
+``exp(-x)`` on the positive branch and ``exp(x)`` on the negative one),
+and workspace reuse only changes *where* results are written, never the
+operations — which is what lets sampling run through ``eval()`` without
+perturbing a single generated pattern.
 """
 
 from __future__ import annotations
@@ -24,7 +36,54 @@ __all__ = [
     "Reshape",
     "SiLU",
     "Upsample2x",
+    "gn_silu",
 ]
+
+#: Workspace cache entries kept per layer (distinct input shapes seen in
+#: inference mode; sampling uses one full-batch shape plus a tail chunk).
+_MAX_WORKSPACES = 4
+
+#: Shared scratch buffers for inference-mode elementwise temporaries.
+#: Entries live only within a single layer call, so one process-wide pool
+#: is safe for the (single-threaded) inference fast path; the model-stage
+#: fan-out uses process workers for exactly this reason.
+_SCRATCH: dict[tuple, np.ndarray] = {}
+
+
+def _scratch(shape: tuple[int, ...], dtype, slot: int) -> np.ndarray:
+    """A reusable scratch array; ``slot`` disambiguates same-shape buffers
+    needed simultaneously within one call."""
+    key = (shape, np.dtype(dtype).str, slot)
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        if len(_SCRATCH) >= 64:
+            _SCRATCH.pop(next(iter(_SCRATCH)))
+        buf = np.empty(shape, dtype=dtype)
+        _SCRATCH[key] = buf
+    return buf
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Vectorised numerically-stable sigmoid, bit-identical to the masked
+    two-branch formulation (never exponentiates a positive value).
+
+    ``exp(-|x|)`` equals ``exp(-x)`` where ``x >= 0`` and ``exp(x)``
+    elsewhere, so selecting ``1`` or ``e`` as the numerator over the shared
+    ``1 + e`` denominator evaluates exactly the values of both branches.
+    All temporaries come from the scratch pool; the returned array is a
+    scratch buffer, only valid until the next inference-mode layer call.
+    """
+    if x.dtype != np.float32:  # rare path: keep dtype semantics exact
+        e = np.exp(-np.abs(x))
+        num = np.where(x >= 0, x.dtype.type(1.0), e)
+        return num / (1.0 + e)
+    e = _scratch(x.shape, np.float32, 0)
+    np.copysign(x, np.float32(-1.0), out=e)  # -|x| in a single pass
+    np.exp(e, out=e)
+    num = np.where(x >= 0, np.float32(1.0), e)
+    np.add(e, np.float32(1.0), out=e)  # e becomes the shared denominator
+    np.divide(num, e, out=num)
+    return num
 
 
 def _im2col(xp: np.ndarray, kh: int, kw: int) -> np.ndarray:
@@ -71,8 +130,11 @@ class Conv2d(Module):
         self.weight = Parameter(weight * init_scale, "weight")
         self.bias = Parameter(zeros_init((out_channels,)), "bias") if bias else None
         self._cache: tuple | None = None
+        self._workspaces: dict[tuple, dict] = {}
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training:
+            return self._forward_inference(x)
         x = np.ascontiguousarray(x, dtype=np.float32)
         pad = self.padding
         kh = kw = self.kernel_size
@@ -87,6 +149,64 @@ class Conv2d(Module):
         if self.bias is not None:
             out += self.bias.data[None, :, None, None]
         self._cache = (cols, x.shape, (out_h, out_w))
+        return out
+
+    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """No-cache forward reusing per-shape pad/im2col/output workspaces.
+
+        The output buffer is part of the workspace: it is valid until this
+        layer's next inference forward.  Inside :class:`TimeUnet` every
+        layer runs exactly once per forward and the network's final output
+        is copied out, so reuse is invisible; direct users comparing two
+        successive inference outputs of the *same* layer must copy.
+        """
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        pad = self.padding
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        out_h = h + 2 * pad - k + 1
+        out_w = w + 2 * pad - k + 1
+        pointwise = k == 1 and pad == 0
+        ws = self._workspaces.get(x.shape)
+        if ws is None:
+            if len(self._workspaces) >= _MAX_WORKSPACES:
+                self._workspaces.pop(next(iter(self._workspaces)))
+            ws = {
+                "out": np.empty(
+                    (n, self.out_channels, out_h * out_w), dtype=np.float32
+                ),
+            }
+            if not pointwise:
+                ws["cols"] = np.empty(
+                    (n, c, k, k, out_h, out_w), dtype=np.float32
+                )
+                if pad:
+                    # Border stays zero forever; only the interior is
+                    # rewritten on each call.
+                    ws["xp"] = np.zeros(
+                        (n, c, h + 2 * pad, w + 2 * pad), dtype=np.float32
+                    )
+            self._workspaces[x.shape] = ws
+        if pointwise:
+            # Pointwise conv: the im2col matrix IS the input, no copies.
+            cols = x.reshape(n, c, h * w)
+        else:
+            if pad:
+                xp = ws["xp"]
+                xp[:, :, pad : h + pad, pad : w + pad] = x
+            else:
+                xp = x
+            cols6 = ws["cols"]
+            for i in range(k):
+                for j in range(k):
+                    cols6[:, :, i, j] = xp[:, :, i : i + out_h, j : j + out_w]
+            cols = cols6.reshape(n, c * k * k, out_h * out_w)
+        w_mat = self.weight.data.reshape(self.out_channels, -1)
+        out = ws["out"]
+        np.matmul(w_mat, cols, out=out)
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None, None]
         return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
@@ -139,7 +259,8 @@ class Linear(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)
-        self._cache = x
+        if self.training:
+            self._cache = x
         return x @ self.weight.data.T + self.bias.data
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
@@ -167,6 +288,8 @@ class GroupNorm(Module):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training:
+            return self._forward_inference(x)
         n, c, h, w = x.shape
         g = self.num_groups
         xg = x.reshape(n, g, c // g * h * w)
@@ -178,6 +301,33 @@ class GroupNorm(Module):
         return xhat * self.gamma.data[None, :, None, None] + self.beta.data[
             None, :, None, None
         ]
+
+    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free normalization into a scratch buffer.
+
+        ``np.var`` recomputes the mean internally; here the centered array
+        is computed once and shared between the variance reduction and the
+        normalized output (``mean((x - mean)^2)`` runs the exact reductions
+        ``var`` performs, so the result is bit-identical).  The returned
+        array is scratch, valid until the next inference-mode layer call
+        of the same shape — inside the UNet every consumer reads it before
+        the next normalization runs.
+        """
+        n, c, h, w = x.shape
+        g = self.num_groups
+        xg = x.reshape(n, g, c // g * h * w)
+        mean = xg.mean(axis=2, keepdims=True)
+        out = _scratch(x.shape, np.float32, 3).reshape(xg.shape)
+        np.subtract(xg, mean, out=out)
+        sq = _scratch(x.shape, np.float32, 4).reshape(xg.shape)
+        np.multiply(out, out, out=sq)
+        var = sq.mean(axis=2, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        np.multiply(out, inv_std, out=out)
+        out = out.reshape(n, c, h, w)
+        np.multiply(out, self.gamma.data[None, :, None, None], out=out)
+        np.add(out, self.beta.data[None, :, None, None], out=out)
+        return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         xhat, inv_std, (n, c, h, w) = self._cache
@@ -205,6 +355,8 @@ class SiLU(Module):
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training:
+            return x * _stable_sigmoid(x)
         # Numerically stable sigmoid: never exponentiates a positive value.
         sig = np.empty_like(x)
         pos = x >= 0
@@ -219,10 +371,29 @@ class SiLU(Module):
         return dout * (sig * (1.0 + x * (1.0 - sig)))
 
 
+def gn_silu(norm: GroupNorm, x: np.ndarray) -> np.ndarray:
+    """Fused inference-mode GroupNorm -> SiLU (the ResBlock hot pair).
+
+    Normalizes, applies the affine in place, then multiplies by the stable
+    sigmoid into the same buffer — one fresh allocation for the normalized
+    activations plus the sigmoid temporaries, no backward caches.  Bit-
+    identical to ``SiLU()(GroupNorm(...)(x))`` in either mode.
+    """
+    y = norm._forward_inference(x)
+    np.multiply(y, _stable_sigmoid(y), out=y)
+    return y
+
+
 class Upsample2x(Module):
     """Nearest-neighbour 2x spatial upsampling."""
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training:
+            # One broadcast copy instead of two sequential repeats.
+            n, c, h, w = x.shape
+            out = np.empty((n, c, h, 2, w, 2), dtype=x.dtype)
+            out[...] = x[:, :, :, None, :, None]
+            return out.reshape(n, c, 2 * h, 2 * w)
         return np.repeat(np.repeat(x, 2, axis=2), 2, axis=3)
 
     def backward(self, dout: np.ndarray) -> np.ndarray:

@@ -15,9 +15,11 @@ and unit-testable by finite differences.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
-__all__ = ["Parameter", "Module", "kaiming_normal", "zeros_init"]
+__all__ = ["Parameter", "Module", "inference_mode", "kaiming_normal", "zeros_init"]
 
 
 class Parameter:
@@ -52,7 +54,19 @@ class Module:
     modules as attributes; :meth:`parameters` walks them in deterministic
     attribute order.  ``state_dict`` keys are dotted attribute paths, stable
     across processes for serialization.
+
+    Modules carry a ``training`` flag (default ``True``).  In training mode
+    every layer records the per-call caches its backward rule needs; in
+    inference mode (:meth:`eval` or the :func:`inference_mode` context)
+    layers skip all backward bookkeeping and may reuse preallocated
+    workspaces, while producing bit-identical outputs.
     """
+
+    #: Class-level default; ``train()``/``eval()`` set per-instance flags.
+    training: bool = True
+
+    #: Per-call cache attributes cleared when switching to inference mode.
+    _CACHE_ATTRS = ("_cache", "_tape", "_skip_grads")
 
     def forward(self, *args, **kwargs):
         raise NotImplementedError
@@ -96,6 +110,43 @@ class Module:
         return sum(p.size for p in self.parameters())
 
     # ------------------------------------------------------------------
+    # Train / inference mode
+    # ------------------------------------------------------------------
+    def walk_modules(self):
+        """Yield this module and every submodule (depth-first).
+
+        (Named ``walk_modules`` rather than ``modules`` because ``Chain``
+        stores its children in a ``modules`` attribute.)
+        """
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.walk_modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.walk_modules()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively; returns ``self``.
+
+        Entering inference mode (``mode=False``) also drops any per-call
+        backward caches left over from earlier training forwards, so no
+        activation memory stays pinned during sampling.
+        """
+        for module in self.walk_modules():
+            module.training = mode
+            if not mode:
+                for attr in Module._CACHE_ATTRS:
+                    if attr in vars(module):
+                        setattr(module, attr, None)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode (no backward caches); returns ``self``."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -117,6 +168,24 @@ class Module:
                     f"checkpoint {value.shape} vs model {p.data.shape}"
                 )
             p.data[...] = value
+
+
+@contextmanager
+def inference_mode(module: Module):
+    """Temporarily run ``module`` in inference mode.
+
+    Outputs are bit-identical to training-mode forwards; the fast path only
+    skips backward caches, reuses im2col/padding workspaces and fuses the
+    GroupNorm -> SiLU pair.  Previous per-module training flags are restored
+    on exit (so a module that was already in ``eval()`` stays there).
+    """
+    previous = [(m, m.training) for m in module.walk_modules()]
+    module.eval()
+    try:
+        yield module
+    finally:
+        for m, mode in previous:
+            m.training = mode
 
 
 def kaiming_normal(

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .blocks import ResBlock, SelfAttention2d, TimeMlp
-from .layers import AvgPool2x, Conv2d, GroupNorm, SiLU, Upsample2x
+from .layers import AvgPool2x, Conv2d, GroupNorm, SiLU, Upsample2x, gn_silu
 from .tensor import Module
 
 __all__ = ["UNetConfig", "TimeUnet"]
@@ -117,12 +117,15 @@ class TimeUnet(Module):
         self.head_conv = Conv2d(prev, config.in_channels, 3, rng, init_scale=0.0)
 
         self._tape: list[tuple] | None = None
+        self._concat_ws: dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, t: np.ndarray) -> np.ndarray:
         """``x``: (N, C, H, W) in [-1, 1]-ish scale; ``t``: (N,) int steps."""
+        if not self.training:
+            return self._forward_inference(x, t)
         cfg = self.config
         n_levels = len(cfg.channel_mults)
         n_res = cfg.num_res_blocks
@@ -176,6 +179,69 @@ class TimeUnet(Module):
         self._tape = tape
         self._skip_grads = skip_grads
         return out
+
+    def _forward_inference(self, x: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Inference fast path: no op tape, no skip-gradient slots.
+
+        Identical graph and identical floating-point operations as the
+        training forward (submodules dispatch to their own inference
+        branches), so the output is bit-for-bit the same.
+        """
+        cfg = self.config
+        n_levels = len(cfg.channel_mults)
+        n_res = cfg.num_res_blocks
+
+        t_emb = self.time_mlp(t)
+
+        h = self.stem(np.asarray(x, dtype=np.float32))
+        skips: list[np.ndarray] = [h]
+
+        down_iter = iter(self.down_res)
+        down_sample_iter = iter(self.downsamples)
+        for i in range(n_levels):
+            for _ in range(n_res):
+                h = next(down_iter)(h, t_emb)
+                skips.append(h)
+            if i != n_levels - 1:
+                h = next(down_sample_iter)(h)
+                skips.append(h)
+
+        h = self.mid1(h, t_emb)
+        if self.attn is not None:
+            h = self.attn(h)
+        h = self.mid2(h, t_emb)
+
+        up_iter = iter(self.up_res)
+        upsample_iter = iter(self.upsamples)
+        for i in reversed(range(n_levels)):
+            for _ in range(n_res + 1):
+                h = next(up_iter)(self._concat(h, skips.pop()), t_emb)
+            if i != 0:
+                h = next(upsample_iter)(h)
+
+        # Copy out of the head conv's reused workspace buffer so the
+        # returned prediction stays valid across subsequent forwards.
+        return self.head_conv(gn_silu(self.head_norm, h)).copy()
+
+    def _concat(self, h: np.ndarray, skip: np.ndarray) -> np.ndarray:
+        """Channel concat into a reused per-shape workspace (inference only).
+
+        The buffer is consumed immediately by the following ResBlock and
+        never retained, so reuse across timesteps is safe; contents are
+        identical to ``np.concatenate([h, skip], axis=1)``.
+        """
+        n, ch, height, width = h.shape
+        cs = skip.shape[1]
+        key = (n, ch, cs, height, width)
+        buf = self._concat_ws.get(key)
+        if buf is None:
+            if len(self._concat_ws) >= 8:
+                self._concat_ws.pop(next(iter(self._concat_ws)))
+            buf = np.empty((n, ch + cs, height, width), dtype=np.float32)
+            self._concat_ws[key] = buf
+        buf[:, :ch] = h
+        buf[:, ch:] = skip
+        return buf
 
     # ------------------------------------------------------------------
     # Backward

@@ -1,0 +1,154 @@
+"""Inference fast path: train/eval parity, cache hygiene, mode plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import InpaintConfig, inpaint, linear_schedule
+from repro.nn import Conv2d, GroupNorm, SiLU, TimeUnet, UNetConfig, inference_mode
+from repro.nn.layers import gn_silu
+
+FULL_CONFIG = UNetConfig(
+    image_size=32,
+    base_channels=16,
+    channel_mults=(1, 2),
+    num_res_blocks=1,
+    groups=8,
+    time_dim=32,
+    attention=True,
+    seed=7,
+)
+
+
+def _bits(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(a).view(np.uint32)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TimeUnet(FULL_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(4, 1, 32, 32)).astype(np.float32)
+    t = np.full(4, 13, dtype=np.int64)
+    return x, t
+
+
+class TestForwardParity:
+    def test_eval_forward_bit_identical(self, model, batch):
+        x, t = batch
+        model.train()
+        out_train = model.forward(x, t)
+        with inference_mode(model):
+            out_eval = model.forward(x, t)
+        np.testing.assert_array_equal(_bits(out_train), _bits(out_eval))
+
+    def test_eval_forward_stable_across_calls(self, model, batch):
+        """Workspace reuse must not leak state between forwards."""
+        x, t = batch
+        with inference_mode(model):
+            first = model.forward(x, t)
+            model.forward(x[:, :, ::-1].copy(), t)  # different input between
+            second = model.forward(x, t)
+        np.testing.assert_array_equal(_bits(first), _bits(second))
+
+    def test_varying_batch_sizes(self, model, batch):
+        """Partial chunks hit fresh workspace shapes; parity must hold."""
+        x, t = batch
+        model.train()
+        ref = model.forward(x[:3], t[:3])
+        with inference_mode(model):
+            out = model.forward(x[:3], t[:3])
+        np.testing.assert_array_equal(_bits(ref), _bits(out))
+
+    def test_layer_level_parity(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 8, 16, 16)).astype(np.float32)
+        conv = Conv2d(8, 4, 3, rng)
+        ref = conv.forward(x)
+        conv.eval()
+        np.testing.assert_array_equal(_bits(ref), _bits(conv.forward(x).copy()))
+        norm = GroupNorm(4, 8)
+        act = SiLU()
+        ref = act(norm(x))
+        norm.eval()
+        act.eval()
+        np.testing.assert_array_equal(_bits(ref), _bits(act(norm(x)).copy()))
+        # The fused pair used inside eval-mode ResBlocks.
+        np.testing.assert_array_equal(_bits(ref), _bits(gn_silu(norm, x).copy()))
+
+
+class TestModeSwitching:
+    def test_eval_sets_and_train_restores_flags(self, model):
+        model.eval()
+        assert all(not m.training for m in model.walk_modules())
+        model.train()
+        assert all(m.training for m in model.walk_modules())
+
+    def test_inference_mode_restores_previous_state(self, model):
+        model.train()
+        with inference_mode(model):
+            assert not model.training
+            assert not model.stem.training
+        assert model.training
+        assert model.stem.training
+        # A model already in eval stays in eval after the context exits.
+        model.eval()
+        with inference_mode(model):
+            pass
+        assert not model.training
+        model.train()
+
+    def test_training_still_works_after_inference(self, model, batch):
+        x, t = batch
+        with inference_mode(model):
+            model.forward(x, t)
+        model.train()
+        out = model.forward(x, t)
+        model.backward(np.ones_like(out))  # needs the tape => training path
+        grads = [p.grad for p in model.parameters()]
+        assert any(np.abs(g).sum() > 0 for g in grads)
+        model.zero_grad()
+
+
+class TestCacheHygiene:
+    def test_no_caches_alive_after_inference_sampling(self, model):
+        """The regression the fast path exists for: sampling in inference
+        mode must leave no backward caches pinned on any module."""
+        schedule = linear_schedule(40)
+        known = np.full((2, 1, 32, 32), -1.0, dtype=np.float32)
+        mask = np.zeros((32, 32), dtype=bool)
+        mask[:, :16] = True
+        model.train()
+        model.forward(  # leave stale training caches behind on purpose
+            np.zeros((2, 1, 32, 32), dtype=np.float32),
+            np.zeros(2, dtype=np.int64),
+        )
+        with inference_mode(model):
+            inpaint(
+                model,
+                schedule,
+                known,
+                mask,
+                np.random.default_rng(0),
+                InpaintConfig(num_steps=3),
+            )
+            for module in model.walk_modules():
+                for attr in ("_cache", "_tape", "_skip_grads"):
+                    assert getattr(module, attr, None) is None, (
+                        f"{type(module).__name__}.{attr} still alive in "
+                        "inference mode"
+                    )
+        model.train()
+
+    def test_conv_workspaces_bounded(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(4, 4, 3, rng)
+        conv.eval()
+        for n in range(1, 8):  # 7 distinct input shapes
+            conv.forward(np.zeros((n, 4, 8, 8), dtype=np.float32))
+        from repro.nn.layers import _MAX_WORKSPACES
+
+        assert len(conv._workspaces) <= _MAX_WORKSPACES
