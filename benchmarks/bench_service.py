@@ -1,0 +1,322 @@
+"""Serving throughput: coalesced micro-batching vs one-request-at-a-time.
+
+Simulates N concurrent clients, each submitting one seeded inpainting
+request against a small diffusion model, and serves the burst three ways:
+
+* **sequential** — today's one-shot path: a fresh backend per request via
+  :func:`repro.engine.run_generation`, requests served one after another.
+  Like a CLI invocation (or a naive fork-per-request server), every
+  request **rehydrates the model from its checkpoint** and builds its own
+  executor;
+* **service-serial** — the async :class:`~repro.service.GenerationService`
+  with micro-batching disabled (``max_batch_requests=1``): long-lived
+  backend (model loaded once) and executor, but every request is its own
+  scheduling cycle;
+* **coalesced** — the same service with the gather window open: compatible
+  requests coalesce into micro-batches sharing the warm backend, one
+  cached DRC sweep per batch and fewer scheduling cycles.
+
+All three modes produce **bit-identical per-request outputs** (asserted):
+the model/denoise stages consume each request's own seeded rng stream, so
+serving mode changes wall-clock, never results.  The shared DRC stores
+are cleared before each mode so none inherits another's warm cache.
+
+Acceptance target (ISSUE 4): coalesced micro-batching beats sequential
+per-request serving on multi-core hosts (single-core hosts skip the gate,
+like ``bench_sampler``; in practice the model-reuse win is large enough
+to clear it on one core too).  A ``BENCH_service.json`` artifact records
+throughput and p50/p95 latency per mode.  Runs standalone
+(``python benchmarks/bench_service.py``) or under pytest.
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+try:  # pytest package-relative vs standalone-script import
+    from .conftest import report
+except ImportError:  # pragma: no cover - standalone fallback
+    def report(title: str, text: str) -> None:
+        print(f"\n=== {title} ===\n{text}")
+
+from repro.diffusion import InpaintConfig, linear_schedule
+from repro.diffusion.schedule import NoiseSchedule
+from repro.drc import basic_deck
+from repro.drc.cache import clear_shared_caches
+from repro.engine import (
+    CandidateBatch,
+    GenerationRequest,
+    register_backend,
+    run_generation,
+)
+from repro.engine.modelpool import inpaint_jobs, publish_model
+from repro.experiments.common import format_table
+from repro.geometry import Grid
+from repro.nn import TimeUnet, UNetConfig
+from repro.nn.serialize import load_module_state
+from repro.service import SchedulerConfig, ServiceClient, ServiceConfig
+
+NUM_CLIENTS = 10
+COUNT = 3  # inpainting attempts per request
+NUM_STEPS = 4  # DDIM steps per attempt
+JOBS = max(1, min(4, os.cpu_count() or 1))
+RUNS = 2
+
+GRID = Grid(nm_per_px=32.0, width_px=16, height_px=16)
+UNET = UNetConfig(
+    image_size=16, base_channels=8, channel_mults=(1, 2), num_res_blocks=1,
+    groups=4, time_dim=16, seed=0,
+)
+TRAIN_STEPS = 32
+
+_CHECKPOINT: str | None = None
+
+
+def _checkpoint() -> str:
+    """Publish the bench model once; constructions rehydrate from disk."""
+    global _CHECKPOINT
+    if _CHECKPOINT is None:
+        _CHECKPOINT = publish_model(TimeUnet(UNET))
+    return _CHECKPOINT
+
+
+class BenchInpaintBackend:
+    """Inpainting backend with one-shot construction semantics.
+
+    Construction rehydrates the model from its checkpoint — the cost a
+    per-request server pays every time, and the cost the service's
+    long-lived backend registry pays exactly once.
+    """
+
+    name = "bench-inpaint"
+
+    def __init__(self, deck=None):
+        self._deck = deck if deck is not None else basic_deck(GRID)
+        state, meta = load_module_state(_checkpoint())
+        cfg = dict(meta["unet"])
+        cfg["channel_mults"] = tuple(cfg["channel_mults"])
+        self._model = TimeUnet(UNetConfig(**cfg))
+        self._model.load_state_dict(state)
+        self._schedule: NoiseSchedule = linear_schedule(TRAIN_STEPS)
+        template = np.zeros((UNET.image_size,) * 2, dtype=np.uint8)
+        template[:, 2:5] = 1
+        template[:, 9:12] = 1
+        self._template = template
+        mask = np.zeros((UNET.image_size,) * 2, dtype=bool)
+        mask[:, UNET.image_size // 2:] = True
+        self._mask = mask
+
+    @property
+    def deck(self):
+        return self._deck
+
+    def propose(self, request, rng):
+        templates = [self._template] * request.count
+        masks = [self._mask] * request.count
+        t0 = time.perf_counter()
+        raws = inpaint_jobs(
+            self._model, self._schedule, templates, masks, rng,
+            InpaintConfig(num_steps=NUM_STEPS),
+        )
+        return CandidateBatch(
+            raws=raws,
+            templates=templates,
+            attempts=request.count,
+            generate_seconds=time.perf_counter() - t0,
+        )
+
+
+register_backend("bench-inpaint", BenchInpaintBackend, overwrite=True)
+
+
+def _requests():
+    deck = basic_deck(GRID)
+    return [
+        GenerationRequest(
+            backend="bench-inpaint", count=COUNT, seed=100 + i, deck=deck
+        )
+        for i in range(NUM_CLIENTS)
+    ]
+
+
+def _sequential(requests):
+    """One-shot serving: fresh backend + executor per request, in turn."""
+    latencies, results = [], []
+    t0 = time.perf_counter()
+    for request in requests:
+        t_req = time.perf_counter()
+        results.append(run_generation(request, jobs=JOBS))
+        latencies.append(time.perf_counter() - t_req)
+    return time.perf_counter() - t0, latencies, results, None
+
+
+def _service(requests, *, coalesce: bool):
+    """N client threads against one service; per-client latencies."""
+    scheduler = (
+        SchedulerConfig(
+            max_batch_requests=NUM_CLIENTS, gather_window_s=0.01
+        )
+        if coalesce
+        else SchedulerConfig(max_batch_requests=1, gather_window_s=0.0)
+    )
+    config = ServiceConfig(
+        jobs=JOBS, queue_size=NUM_CLIENTS * 2, scheduler=scheduler
+    )
+    latencies = [0.0] * len(requests)
+    results = [None] * len(requests)
+    with ServiceClient(config) as client:
+        barrier = threading.Barrier(len(requests) + 1)
+
+        def worker(i):
+            barrier.wait()
+            t_req = time.perf_counter()
+            results[i] = client.generate(requests[i])
+            latencies[i] = time.perf_counter() - t_req
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(requests))
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+        stats = client.service.stats
+    return wall, latencies, list(results), stats
+
+
+def _percentile(values, q):
+    return float(np.percentile(np.asarray(values), q))
+
+
+def run_bench():
+    """Times and outputs per mode; asserts bitwise-equal results."""
+    requests = _requests()
+    modes = {
+        "sequential": lambda: _sequential(requests),
+        "service-serial": lambda: _service(requests, coalesce=False),
+        "coalesced": lambda: _service(requests, coalesce=True),
+    }
+    walls: dict[str, float] = {}
+    latencies: dict[str, list[float]] = {}
+    outputs: dict[str, list] = {}
+    stats: dict[str, object] = {}
+    for name, fn in modes.items():
+        best = None
+        for _ in range(RUNS):
+            clear_shared_caches()  # no mode inherits another's warm DRC memo
+            run = fn()
+            if best is None or run[0] < best[0]:
+                best = run
+        walls[name], latencies[name], outputs[name], stats[name] = best
+
+    reference = outputs["sequential"]
+    for name in ("service-serial", "coalesced"):
+        for got, want in zip(outputs[name], reference):
+            assert got.attempts == want.attempts
+            for a, b in zip(want.clips, got.clips):
+                np.testing.assert_array_equal(
+                    a, b, err_msg=f"{name} output diverged from sequential"
+                )
+            np.testing.assert_array_equal(want.legal, got.legal)
+            assert got.admitted == want.admitted
+    assert stats["coalesced"].peak_coalesced > 1, (
+        "gather window never coalesced anything; the benchmark is not "
+        "measuring micro-batching"
+    )
+    return walls, latencies, stats
+
+
+def render(walls, latencies) -> str:
+    rows = [
+        [
+            mode,
+            round(wall, 3),
+            round(NUM_CLIENTS / wall, 1),
+            round(_percentile(latencies[mode], 50) * 1e3, 1),
+            round(_percentile(latencies[mode], 95) * 1e3, 1),
+            round(walls["sequential"] / wall, 2),
+        ]
+        for mode, wall in walls.items()
+    ]
+    return format_table(
+        ["mode", "wall s", "req/s", "p50 ms", "p95 ms", "speedup"],
+        rows,
+        title=(
+            f"Serving throughput ({NUM_CLIENTS} clients x {COUNT} inpaint "
+            f"attempts, {NUM_STEPS} steps, jobs={JOBS})"
+        ),
+    )
+
+
+def write_artifact(walls, latencies, stats) -> str:
+    from repro.experiments.common import results_dir
+
+    coalesced = stats["coalesced"]
+    payload = {
+        "workload": {
+            "clients": NUM_CLIENTS,
+            "count_per_request": COUNT,
+            "num_steps": NUM_STEPS,
+            "jobs": JOBS,
+            "backend": "bench-inpaint",
+            "deck": "basic",
+            "image_size": UNET.image_size,
+            "cpus": os.cpu_count(),
+        },
+        "coalescing": {
+            "micro_batches": coalesced.micro_batches,
+            "cycles": coalesced.cycles,
+            "peak_coalesced": coalesced.peak_coalesced,
+        },
+        "summary": {
+            mode: {
+                "wall_seconds": round(wall, 4),
+                "requests_per_s": round(NUM_CLIENTS / wall, 2),
+                "p50_ms": round(_percentile(latencies[mode], 50) * 1e3, 2),
+                "p95_ms": round(_percentile(latencies[mode], 95) * 1e3, 2),
+                "speedup_vs_sequential": round(walls["sequential"] / wall, 3),
+            }
+            for mode, wall in walls.items()
+        },
+    }
+    out = results_dir() / "BENCH_service.json"
+    out.write_text(json.dumps(payload, indent=2))
+    return str(out)
+
+
+class TestServingThroughput:
+    def test_coalesced_micro_batching_beats_sequential(self):
+        walls, latencies, stats = run_bench()
+        path = write_artifact(walls, latencies, stats)
+        report(
+            "bench_service: serving modes",
+            render(walls, latencies) + f"\n[artifact: {path}]",
+        )
+        if (os.cpu_count() or 1) < 2 and walls["coalesced"] > walls["sequential"]:
+            # One core leaves no parallel slack between the service's
+            # loop/worker threads and the executor pools; the acceptance
+            # gate is enforced where the CI benchmark job runs.
+            pytest.skip(
+                f"single-core host: coalesced "
+                f"{walls['sequential'] / walls['coalesced']:.2f}x sequential "
+                "(micro-batching needs >= 2 cores to win)"
+            )
+        assert walls["coalesced"] <= walls["sequential"], (
+            f"coalesced={walls['coalesced']:.3f}s "
+            f"sequential={walls['sequential']:.3f}s: micro-batched serving "
+            "must beat one-request-at-a-time serving"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    walls, latencies, stats = run_bench()
+    print(render(walls, latencies))
+    print(f"[artifact: {write_artifact(walls, latencies, stats)}]")

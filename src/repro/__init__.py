@@ -58,6 +58,7 @@ from .library import (
 )
 from .metrics.diversity import summarize_library
 from .metrics.entropy import h1_entropy, h2_entropy
+from .service import GenerationService, ServiceClient, ServiceConfig
 
 __version__ = "1.0.0"
 
@@ -68,6 +69,7 @@ __all__ = [
     "ExecutorConfig",
     "GenerationBatch",
     "GenerationRequest",
+    "GenerationService",
     "Grid",
     "InMemoryStore",
     "LibraryStore",
@@ -76,6 +78,8 @@ __all__ = [
     "PatternPaintConfig",
     "PatternPaintResult",
     "RuleDeck",
+    "ServiceClient",
+    "ServiceConfig",
     "ShardDelta",
     "ShardedStore",
     "SquishPattern",

@@ -3,8 +3,9 @@
 Commands cover the full workflow a downstream user needs: generating
 rule-based libraries, running DRC, inspecting squish representations,
 rendering clips, building the model zoo, managing sharded library
-snapshots (``repro library info|merge``, ``generate --library-dir``), and
-regenerating every table and figure of the paper.
+snapshots (``repro library info|merge``, ``generate --library-dir``),
+serving concurrent clients over TCP (``repro serve``), and regenerating
+every table and figure of the paper.
 """
 
 from __future__ import annotations
@@ -80,6 +81,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     zoo = sub.add_parser("zoo", help="build / inspect cached model artifacts")
     zoo.add_argument("action", choices=["build", "list"])
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async generation service over a TCP line-JSON "
+             "protocol (stdlib only, no web framework)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8157,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--deck", default="advanced",
+                       choices=["basic", "complex", "advanced"],
+                       help="default deck for requests that name none")
+    serve.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                       help="executor workers for the denoise/DRC stages")
+    serve.add_argument("--model-jobs", type=_positive_int, default=None,
+                       metavar="N",
+                       help="process workers for the model stage "
+                            "(default: --jobs)")
+    serve.add_argument("--queue-size", type=_positive_int, default=64,
+                       help="bounded request queue depth (backpressure)")
+    serve.add_argument("--max-batch", type=_positive_int, default=8,
+                       metavar="N",
+                       help="most requests one micro-batch may coalesce")
+    serve.add_argument("--gather-window-ms", type=float, default=2.0,
+                       metavar="MS",
+                       help="how long to hold the window open for "
+                            "co-arriving compatible requests")
+    serve.add_argument("--library-shards", type=_positive_int, default=1,
+                       metavar="N",
+                       help="shard count for session library stores")
+    serve.add_argument("--session-dir", default=None, metavar="DIR",
+                       help="root directory for per-session library "
+                            "snapshots (loaded on first use, checkpointed "
+                            "between batches and at shutdown)")
+    serve.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                       metavar="N",
+                       help="snapshot a session's store every N merged "
+                            "request batches (needs --session-dir; "
+                            "default: only at shutdown)")
 
     lib = sub.add_parser(
         "library", help="inspect / merge sharded library snapshots"
@@ -250,6 +290,63 @@ def _cmd_library(args) -> int:
     )  # pragma: no cover
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import (
+        GenerationService,
+        SchedulerConfig,
+        ServiceConfig,
+        SessionConfig,
+        serve,
+    )
+
+    if args.checkpoint_every and not args.session_dir:
+        print("repro serve: error: --checkpoint-every needs --session-dir",
+              file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        queue_size=args.queue_size,
+        jobs=args.jobs,
+        model_jobs=(
+            args.model_jobs if args.model_jobs is not None else args.jobs
+        ),
+        scheduler=SchedulerConfig(
+            max_batch_requests=args.max_batch,
+            gather_window_s=args.gather_window_ms / 1000.0,
+        ),
+        sessions=SessionConfig(
+            library_shards=args.library_shards,
+            snapshot_root=args.session_dir,
+            checkpoint_every=args.checkpoint_every or 0,
+        ),
+    )
+
+    async def main() -> None:
+        service = GenerationService(config)
+        await service.start()
+        server = await serve(
+            service, args.host, args.port, default_deck=args.deck
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"repro serve: listening on {host}:{port} "
+              f"(deck={args.deck}, jobs={config.jobs}, "
+              f"max-batch={args.max_batch})")
+        print('protocol: one JSON object per line, e.g. '
+              '{"backend": "rule", "count": 8, "seed": 0}')
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("repro serve: shut down")
+    return 0
+
+
 def _cmd_drc(args) -> int:
     from .drc.decks import deck_by_name
     from .io.clips import load_clips
@@ -357,6 +454,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_render(args)
     if command == "zoo":
         return _cmd_zoo(args)
+    if command == "serve":
+        return _cmd_serve(args)
     if command == "library":
         return _cmd_library(args)
     if command == "fig8":

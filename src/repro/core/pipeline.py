@@ -131,21 +131,50 @@ class PatternPaint:
         ddpm: Ddpm,
         deck: RuleDeck,
         config: PatternPaintConfig | None = None,
+        *,
+        executor: BatchExecutor | None = None,
     ):
         self.ddpm = ddpm
         self.deck = deck
         self.config = config or PatternPaintConfig()
-        self.engine = deck.engine()
-        self.executor = BatchExecutor(
-            self.engine,
-            ExecutorConfig(
-                model_batch=self.config.model_batch,
-                jobs=self.config.jobs,
-                pool=self.config.pool,
-                model_jobs=self.config.model_jobs,
-                denoise=self.config.denoise,
-            ),
-        )
+        if executor is not None:
+            # Shared executor (e.g. the generation service's): its worker
+            # pools and DRC cache stay warm across many pipelines and
+            # requests, and its owner — not this pipeline — closes it.
+            # model_batch and the denoise config change seeded outputs
+            # (chunk-level rng spawning / denoise behaviour), so a shared
+            # executor must agree with this pipeline's config on both —
+            # refuse a silent mismatch.
+            if executor.config.model_batch != self.config.model_batch:
+                raise ValueError(
+                    f"shared executor model_batch="
+                    f"{executor.config.model_batch} differs from "
+                    f"PatternPaintConfig.model_batch="
+                    f"{self.config.model_batch}; seeded outputs would "
+                    "change"
+                )
+            if executor.config.denoise != self.config.denoise:
+                raise ValueError(
+                    "shared executor's denoise config differs from "
+                    "PatternPaintConfig.denoise; seeded outputs would "
+                    "change"
+                )
+            self.engine = executor.engine
+            self.executor = executor
+            self._owns_executor = False
+        else:
+            self.engine = deck.engine()
+            self.executor = BatchExecutor(
+                self.engine,
+                ExecutorConfig(
+                    model_batch=self.config.model_batch,
+                    jobs=self.config.jobs,
+                    pool=self.config.pool,
+                    model_jobs=self.config.model_jobs,
+                    denoise=self.config.denoise,
+                ),
+            )
+            self._owns_executor = True
         size = ddpm.model.config.image_size
         self._shape = (size, size)
 
@@ -155,8 +184,13 @@ class PatternPaint:
         return self._shape
 
     def close(self) -> None:
-        """Shut down the executor's persistent worker pools (idempotent)."""
-        self.executor.close()
+        """Shut down the worker pools of any executor this pipeline owns.
+
+        Idempotent; a shared executor passed in at construction is left
+        open for its owner to close.
+        """
+        if self._owns_executor:
+            self.executor.close()
 
     def __enter__(self) -> "PatternPaint":
         return self

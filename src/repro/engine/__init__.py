@@ -25,13 +25,26 @@ Adding a backend is one class plus one :func:`register_backend` call; see
 # import repro.core.pipeline, which itself imports this package's executor.
 # The registry lazy-loads them on the first get_backend()/list_backends()
 # call instead, which breaks the cycle.
-from .executor import BatchExecutor, ExecutorConfig, PostprocessResult, run_generation
-from .registry import GeneratorBackend, get_backend, list_backends, register_backend
+from .executor import (
+    BatchExecutor,
+    ExecutionPlan,
+    ExecutorConfig,
+    PostprocessResult,
+    run_generation,
+)
+from .registry import (
+    GeneratorBackend,
+    get_backend,
+    is_registered,
+    list_backends,
+    register_backend,
+)
 from .request import CandidateBatch, GenerationBatch, GenerationRequest, StageTimings
 
 __all__ = [
     "BatchExecutor",
     "CandidateBatch",
+    "ExecutionPlan",
     "ExecutorConfig",
     "GenerationBatch",
     "GenerationRequest",
@@ -39,6 +52,7 @@ __all__ = [
     "PostprocessResult",
     "StageTimings",
     "get_backend",
+    "is_registered",
     "list_backends",
     "register_backend",
     "run_generation",

@@ -70,6 +70,7 @@ class PatternPaintBackend:
         templates: list[np.ndarray] | None = None,
         jobs: int | None = None,
         model_jobs: int | None = None,
+        executor=None,
     ):
         from dataclasses import replace
 
@@ -85,7 +86,9 @@ class PatternPaintBackend:
         self._config = cfg
         self.variant = variant
         self._templates = list(templates) if templates is not None else None
+        self._executor = executor  # shared BatchExecutor (service-owned)
         self._pipeline: PatternPaint | None = None
+        self._starter_cache: list[np.ndarray] | None = None
 
     def close(self) -> None:
         """Shut down the wrapped pipeline's worker pools, if it was built."""
@@ -110,12 +113,22 @@ class PatternPaintBackend:
                     self._ddpm = pretrained(variant)
                 else:
                     raise ValueError(f"unknown model variant {self.variant!r}")
-            self._pipeline = PatternPaint(self._ddpm, self._deck, self._config)
+            self._pipeline = PatternPaint(
+                self._ddpm, self._deck, self._config, executor=self._executor
+            )
         return self._pipeline
 
     def _default_templates(self) -> list[np.ndarray]:
-        generator = TrackPatternGenerator(TrackGeneratorConfig(deck=self._deck))
-        return generator.sample_many(20, np.random.default_rng(2024))
+        # Fixed-seed starters: caching is behaviour-identical and keeps a
+        # long-lived backend from regenerating them on every request.
+        if self._starter_cache is None:
+            generator = TrackPatternGenerator(
+                TrackGeneratorConfig(deck=self._deck)
+            )
+            self._starter_cache = generator.sample_many(
+                20, np.random.default_rng(2024)
+            )
+        return self._starter_cache
 
     def propose(
         self, request: GenerationRequest, rng: np.random.Generator

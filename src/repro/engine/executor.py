@@ -27,13 +27,19 @@ shares, regardless of which model proposed the candidates:
   serial.
 
 :func:`run_generation` is the one-call entry point used by the CLI and the
-experiment harnesses.
+experiment harnesses.  The async service layer drives the same machinery
+through the **staged** API instead — :meth:`BatchExecutor.plan` /
+:meth:`~BatchExecutor.execute` / :meth:`~BatchExecutor.finalize` — which
+splits a run into resumable pieces an external scheduler can interleave
+across requests (e.g. one DRC sweep over a whole micro-batch).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -46,9 +52,20 @@ from ..geometry.raster import validate_clip
 from ..library import LibraryStore, compute_delta
 from .modelpool import InpaintModelSpec, run_inpaint_chunk
 from .registry import GeneratorBackend, get_backend
-from .request import GenerationBatch, GenerationRequest, StageTimings
+from .request import (
+    CandidateBatch,
+    GenerationBatch,
+    GenerationRequest,
+    StageTimings,
+)
 
-__all__ = ["ExecutorConfig", "PostprocessResult", "BatchExecutor", "run_generation"]
+__all__ = [
+    "ExecutorConfig",
+    "ExecutionPlan",
+    "PostprocessResult",
+    "BatchExecutor",
+    "run_generation",
+]
 
 
 def _denoise_one(
@@ -61,6 +78,17 @@ def _denoise_one(
     if template is None:
         return validate_clip(raw)
     return template_denoise(raw, template, config, rng)
+
+
+class _PoolLease:
+    """A persistent pool plus its lease bookkeeping (see ``_leased_pool``)."""
+
+    __slots__ = ("pool", "refs", "retired")
+
+    def __init__(self, pool: Executor):
+        self.pool = pool
+        self.refs = 0
+        self.retired = False
 
 
 @dataclass(frozen=True)
@@ -113,6 +141,30 @@ class PostprocessResult:
     timings: StageTimings
 
 
+@dataclass
+class ExecutionPlan:
+    """One request's staged execution state (plan -> execute -> finalize).
+
+    Built by :meth:`BatchExecutor.plan`, the plan pins everything a run
+    depends on — resolved backend, the request's root rng stream, the
+    destination store and the DRC-cache counters at start — so the model
+    stage (:meth:`~BatchExecutor.execute`) and the post-processing stage
+    (:meth:`~BatchExecutor.finalize`) can run at different times, from a
+    scheduler, while staying bit-identical to a monolithic
+    :meth:`~BatchExecutor.run`: the rng object threads propose -> denoise
+    exactly as it does in the one-call path.
+    """
+
+    request: GenerationRequest
+    backend: GeneratorBackend
+    rng: np.random.Generator
+    library: LibraryStore
+    cache_hits0: int = 0
+    cache_misses0: int = 0
+    proposal: CandidateBatch | None = None
+    generate_seconds: float = 0.0
+
+
 class BatchExecutor:
     """Runs the shared generation machinery against one DRC engine.
 
@@ -129,39 +181,74 @@ class BatchExecutor:
     ):
         self.engine = engine
         self.config = config or ExecutorConfig()
-        self._pools: dict[tuple[str, int], Executor] = {}
+        self._pools: dict[tuple[str, int], _PoolLease] = {}
+        self._pools_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Persistent pools
     # ------------------------------------------------------------------
-    def _pool(self, kind: str, workers: int) -> Executor:
-        """The lazily created persistent pool for ``(kind, workers)``.
+    @contextmanager
+    def _leased_pool(self, kind: str, workers: int):
+        """Lease the persistent pool for ``(kind, workers)`` for one stage.
 
         Pools are keyed by worker count so each stage is bounded by its
         own configured parallelism (``jobs`` for denoise/DRC/admit,
         ``model_jobs`` for the model stage) even when both kinds share a
-        process pool; at most one pool per distinct (kind, size) pair
-        lives for the executor's lifetime.
+        process pool; at most one live pool per distinct (kind, size)
+        pair exists at a time.
+
+        The lease is what makes :meth:`close` safe while stages run: a
+        pool is only ever shut down with zero lessees, so a stage can
+        never see its pool die between acquiring it and submitting work.
+        A close racing an active stage *retires* the pool (detaches it
+        from the map) and the stage — the last lessee — shuts it down on
+        release.
         """
+        if kind not in ("thread", "process"):
+            raise ValueError(
+                f"unknown pool kind {kind!r} (use 'thread' or 'process')"
+            )
         key = (kind, workers)
-        pool = self._pools.get(key)
-        if pool is None:
-            if kind == "thread":
-                pool = ThreadPoolExecutor(max_workers=workers)
-            elif kind == "process":
-                pool = ProcessPoolExecutor(max_workers=workers)
-            else:
-                raise ValueError(
-                    f"unknown pool kind {kind!r} (use 'thread' or 'process')"
-                )
-            self._pools[key] = pool
-        return pool
+        with self._pools_lock:
+            lease = self._pools.get(key)
+            if lease is None:
+                if kind == "thread":
+                    pool = ThreadPoolExecutor(max_workers=workers)
+                else:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                lease = _PoolLease(pool)
+                self._pools[key] = lease
+            lease.refs += 1
+        try:
+            yield lease.pool
+        finally:
+            with self._pools_lock:
+                lease.refs -= 1
+                shutdown_now = lease.retired and lease.refs == 0
+            if shutdown_now:
+                lease.pool.shutdown(wait=True)
 
     def close(self) -> None:
-        """Shut down the persistent pools (idempotent)."""
-        pools, self._pools = self._pools, {}
-        for pool in pools.values():
-            pool.shutdown(wait=True)
+        """Shut down the persistent pools.
+
+        Idempotent and safe under concurrent callers: the pool map is
+        detached under a lock (a double close, or two closes racing,
+        each shut down disjoint sets), idle pools are shut down here with
+        ``wait=True``, and pools a running stage currently leases are
+        retired for that stage to shut down when it finishes — a close
+        racing in-flight work never raises and never pulls a pool out
+        from under a stage.  A closed executor lazily re-creates pools
+        if it is used again.
+        """
+        with self._pools_lock:
+            leases, self._pools = list(self._pools.values()), {}
+            idle = []
+            for lease in leases:
+                lease.retired = True
+                if lease.refs == 0:
+                    idle.append(lease)
+        for lease in idle:
+            lease.pool.shutdown(wait=True)
 
     def __enter__(self) -> "BatchExecutor":
         return self
@@ -209,17 +296,18 @@ class BatchExecutor:
         outputs: list[np.ndarray] = []
         jobs = min(self.config.model_jobs, len(chunks))
         if spec is not None and jobs > 1:
-            pool = self._pool("process", jobs)
-            t0 = time.perf_counter()
-            futures = [
-                pool.submit(
-                    run_inpaint_chunk, spec, templates[lo:hi], masks[lo:hi], child
-                )
-                for (lo, hi), child in zip(chunks, children)
-            ]
-            for future in futures:
-                outputs.extend(future.result())
-            return outputs, time.perf_counter() - t0
+            with self._leased_pool("process", jobs) as pool:
+                t0 = time.perf_counter()
+                futures = [
+                    pool.submit(
+                        run_inpaint_chunk, spec, templates[lo:hi],
+                        masks[lo:hi], child
+                    )
+                    for (lo, hi), child in zip(chunks, children)
+                ]
+                for future in futures:
+                    outputs.extend(future.result())
+                return outputs, time.perf_counter() - t0
         seconds = 0.0
         for (lo, hi), child in zip(chunks, children):
             t0 = time.perf_counter()
@@ -253,16 +341,16 @@ class BatchExecutor:
                 for raw, template, child in zip(raws, templates, children)
             ]
         else:
-            pool = self._pool(self.config.pool, self.config.jobs)
-            clips = list(
-                pool.map(
-                    _denoise_one,
-                    raws,
-                    templates,
-                    [config] * len(raws),
-                    children,
+            with self._leased_pool(self.config.pool, self.config.jobs) as pool:
+                clips = list(
+                    pool.map(
+                        _denoise_one,
+                        raws,
+                        templates,
+                        [config] * len(raws),
+                        children,
+                    )
                 )
-            )
         return clips, time.perf_counter() - t0
 
     def check_batch(self, clips: Sequence[np.ndarray]) -> tuple[np.ndarray, float]:
@@ -272,17 +360,25 @@ class BatchExecutor:
         executor's persistent pool instead of spinning one up per call.
         """
         t0 = time.perf_counter()
-        mask = self.engine.check_batch(
-            clips,
-            jobs=self.config.jobs,
-            pool=self.config.pool,
-            use_cache=self.config.use_cache,
-            executor=(
-                self._pool(self.config.pool, self.config.jobs)
-                if self.config.jobs > 1
-                else None
-            ),
-        )
+        if self.config.jobs > 1:
+            with self._leased_pool(
+                self.config.pool, self.config.jobs
+            ) as pool:
+                mask = self.engine.check_batch(
+                    clips,
+                    jobs=self.config.jobs,
+                    pool=self.config.pool,
+                    use_cache=self.config.use_cache,
+                    executor=pool,
+                )
+        else:
+            mask = self.engine.check_batch(
+                clips,
+                jobs=self.config.jobs,
+                pool=self.config.pool,
+                use_cache=self.config.use_cache,
+                executor=None,
+            )
         return mask, time.perf_counter() - t0
 
     def admit_batch(
@@ -310,14 +406,14 @@ class BatchExecutor:
             for lo, hi in zip(bounds[:-1], bounds[1:])
             if hi > lo
         ]
-        pool = self._pool(self.config.pool, self.config.jobs)
-        deltas = list(
-            pool.map(
-                compute_delta,
-                [clips[lo:hi] for lo, hi in slices],
-                [lo for lo, _ in slices],
+        with self._leased_pool(self.config.pool, self.config.jobs) as pool:
+            deltas = list(
+                pool.map(
+                    compute_delta,
+                    [clips[lo:hi] for lo, hi in slices],
+                    [lo for lo, _ in slices],
+                )
             )
-        )
         flags: list[bool] = []
         for delta in sorted(deltas, key=lambda d: d.offset):
             flags.extend(store.merge(delta))
@@ -351,6 +447,110 @@ class BatchExecutor:
         )
 
     # ------------------------------------------------------------------
+    # Staged API (what the service scheduler drives)
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        request: GenerationRequest,
+        *,
+        backend: GeneratorBackend | None = None,
+        rng: np.random.Generator | None = None,
+        library: LibraryStore | None = None,
+    ) -> ExecutionPlan:
+        """Resolve a request into an :class:`ExecutionPlan` (no work yet).
+
+        Resolves the backend (from the registry when not supplied), seeds
+        the request's root rng and picks the destination store (a fresh
+        single-shard store by default, matching :meth:`run`).
+        """
+        if backend is None:
+            backend = get_backend(request.backend)
+        rng = rng if rng is not None else request.rng()
+        if library is None:
+            library = PatternLibrary(name=backend.name)
+        cache = self.engine.cache
+        return ExecutionPlan(
+            request=request,
+            backend=backend,
+            rng=rng,
+            library=library,
+            cache_hits0=cache.hits,
+            cache_misses0=cache.misses,
+        )
+
+    def execute(self, plan: ExecutionPlan) -> CandidateBatch:
+        """Run the model stage: the backend proposes candidates.
+
+        Consumes the plan's rng exactly as the one-call path does, so a
+        later :meth:`finalize` (or a scheduler-driven denoise with the
+        same rng object) is bit-identical to :meth:`run`.
+        """
+        t0 = time.perf_counter()
+        proposal = plan.backend.propose(plan.request, plan.rng)
+        plan.generate_seconds = proposal.generate_seconds or (
+            time.perf_counter() - t0
+        )
+        plan.proposal = proposal
+        return proposal
+
+    def finalize(self, plan: ExecutionPlan) -> GenerationBatch:
+        """Post-process an executed plan: denoise -> DRC -> admit."""
+        if plan.proposal is None:
+            raise ValueError("plan has not been executed (no proposal)")
+        post = self.postprocess(
+            plan.proposal.raws,
+            plan.proposal.templates,
+            plan.rng,
+            library=plan.library,
+        )
+        return self.assemble(plan, post.clips, post.legal, post.admitted,
+                             post.timings)
+
+    def assemble(
+        self,
+        plan: ExecutionPlan,
+        clips: list[np.ndarray],
+        legal: np.ndarray,
+        admitted: int,
+        timings: StageTimings,
+        *,
+        cache_hits: int | None = None,
+        cache_misses: int | None = None,
+    ) -> GenerationBatch:
+        """Build the final :class:`GenerationBatch` from staged pieces.
+
+        Used by :meth:`finalize` and by schedulers that ran the denoise /
+        DRC / admission stages themselves (e.g. one DRC sweep across a
+        whole micro-batch) and now need the per-request result object.
+        By default cache traffic is the engine-counter delta since
+        :meth:`plan`; a scheduler whose DRC sweep spanned several
+        requests passes each request's attributed ``cache_hits`` /
+        ``cache_misses`` explicitly (the shared counters would otherwise
+        charge the whole sweep to every request).
+        """
+        cache = self.engine.cache
+        total = StageTimings(generate_seconds=plan.generate_seconds)
+        total.add(timings)
+        return GenerationBatch(
+            request=plan.request,
+            backend=plan.backend.name,
+            clips=clips,
+            legal=legal,
+            library=plan.library,
+            attempts=plan.proposal.attempts if plan.proposal else 0,
+            timings=total,
+            cache_hits=(
+                cache_hits if cache_hits is not None
+                else cache.hits - plan.cache_hits0
+            ),
+            cache_misses=(
+                cache_misses if cache_misses is not None
+                else cache.misses - plan.cache_misses0
+            ),
+            admitted=admitted,
+        )
+
+    # ------------------------------------------------------------------
     # End-to-end
     # ------------------------------------------------------------------
     def run(
@@ -368,36 +568,9 @@ class BatchExecutor:
         fresh single-shard store.  ``batch.admitted`` counts only clips
         admitted by *this* run, whatever the store held before.
         """
-        if backend is None:
-            backend = get_backend(request.backend)
-        rng = rng if rng is not None else request.rng()
-        if library is None:
-            library = PatternLibrary(name=backend.name)
-
-        cache = self.engine.cache
-        hits0, misses0 = cache.hits, cache.misses
-
-        t0 = time.perf_counter()
-        proposal = backend.propose(request, rng)
-        generate_seconds = proposal.generate_seconds or (time.perf_counter() - t0)
-
-        post = self.postprocess(
-            proposal.raws, proposal.templates, rng, library=library
-        )
-        timings = StageTimings(generate_seconds=generate_seconds)
-        timings.add(post.timings)
-        return GenerationBatch(
-            request=request,
-            backend=backend.name,
-            clips=post.clips,
-            legal=post.legal,
-            library=library,
-            attempts=proposal.attempts,
-            timings=timings,
-            cache_hits=cache.hits - hits0,
-            cache_misses=cache.misses - misses0,
-            admitted=post.admitted,
-        )
+        staged = self.plan(request, backend=backend, rng=rng, library=library)
+        self.execute(staged)
+        return self.finalize(staged)
 
 
 def run_generation(

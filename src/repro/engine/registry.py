@@ -27,6 +27,7 @@ __all__ = [
     "GeneratorBackend",
     "register_backend",
     "get_backend",
+    "is_registered",
     "list_backends",
 ]
 
@@ -102,6 +103,12 @@ def get_backend(name: str, **kwargs) -> GeneratorBackend:
             f"unknown backend {name!r}; registered: {list_backends()}"
         ) from None
     return factory(**kwargs)
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a backend factory (builtin or user)."""
+    _ensure_builtins()
+    return name in _REGISTRY
 
 
 def list_backends() -> list[str]:

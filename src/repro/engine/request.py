@@ -7,10 +7,17 @@ without saying anything about *how* (batching, pooling, caching live in
 with a :class:`CandidateBatch` of raw proposals, and the executor turns
 that into a :class:`GenerationBatch`: validated clips, a legality mask, a
 deduplicated library and per-stage wall-clock timings.
+
+Requests are also the unit the async service layer queues and coalesces:
+every request carries a unique ``request_id``, a scheduling ``priority``
+and a :meth:`~GenerationRequest.compatibility_key` — requests with equal
+keys (same backend, deck and clip shape) may share one micro-batch in
+:class:`repro.service.GenerationService`.
 """
 
 from __future__ import annotations
 
+import uuid
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
@@ -36,6 +43,17 @@ class GenerationRequest:
     internally (solver-based baselines) may propose fewer candidates.
     ``templates``/``masks`` seed inpainting-style backends and are ignored
     by the others; ``params`` carries backend-specific knobs.
+
+    ``request_id`` identifies the request across the service layer (a
+    fresh id is generated when not supplied) and ``priority`` orders
+    micro-batches in the scheduler (higher runs first); neither affects
+    the generated patterns, which depend only on the seed and the
+    generation parameters.
+
+    Validation happens at construction: a non-positive ``count`` or a
+    backend name that is not in the registry raises ``ValueError`` here,
+    with the registered names in the message, instead of failing deep
+    inside the executor.
     """
 
     backend: str
@@ -45,10 +63,24 @@ class GenerationRequest:
     templates: tuple[np.ndarray, ...] | None = None
     masks: tuple[np.ndarray, ...] | None = None
     params: Mapping[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    request_id: str = ""
 
     def __post_init__(self) -> None:
-        if self.count < 1:
-            raise ValueError("count must be positive")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError("backend must be a non-empty string")
+        # Late import: the registry imports this module at load time.
+        from .registry import is_registered, list_backends
+
+        if not is_registered(self.backend):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"registered: {list_backends()}"
+            )
+        if not isinstance(self.count, int) or self.count <= 0:
+            raise ValueError(
+                f"count must be a positive integer, got {self.count!r}"
+            )
         if self.templates is not None:
             if len(self.templates) == 0:
                 raise ValueError("templates must be non-empty when given")
@@ -57,10 +89,43 @@ class GenerationRequest:
             if len(self.masks) == 0:
                 raise ValueError("masks must be non-empty when given")
             object.__setattr__(self, "masks", tuple(self.masks))
+        if not self.request_id:
+            object.__setattr__(self, "request_id", uuid.uuid4().hex[:12])
 
     def rng(self) -> np.random.Generator:
         """The request's root random generator."""
         return np.random.default_rng(self.seed)
+
+    @property
+    def clip_shape(self) -> tuple[int, ...] | None:
+        """(H, W) implied by the request's templates, if any were given."""
+        if self.templates:
+            return tuple(np.asarray(self.templates[0]).shape)
+        return None
+
+    def compatibility_key(self) -> tuple:
+        """Hashable coalescing key: equal keys may share a micro-batch.
+
+        Two requests are compatible when they name the same backend, run
+        under the same deck — geometry *and* rule content, so two decks
+        that merely share a name can never trade DRC verdicts — and imply
+        the same clip shape with the same backend params; i.e. they can
+        be served by one shared backend instance and one DRC sweep.
+        Seed, count, priority and id deliberately do not participate:
+        those vary per client.
+        """
+        deck = self.deck
+        deck_key = None
+        if deck is not None:
+            grid = deck.grid
+            deck_key = (
+                deck.name, grid.nm_per_px, grid.width_px, grid.height_px,
+                repr(deck.rules),
+            )
+        params_key = tuple(
+            sorted((str(k), repr(v)) for k, v in self.params.items())
+        )
+        return (self.backend, deck_key, self.clip_shape, params_key)
 
 
 @dataclass
@@ -96,6 +161,39 @@ class CandidateBatch:
             attempts=attempts,
             generate_seconds=generate_seconds,
         )
+
+    def chunks(self, size: int) -> list["CandidateBatch"]:
+        """Split into contiguous sub-batches of at most ``size`` raws.
+
+        The streamed unit of the service layer: per-request results go
+        out as a sequence of ``CandidateBatch`` chunks in proposal order.
+        ``attempts`` is carried by the final chunk (earlier chunks report
+        their own raw count) so the chunk totals sum to this batch's.
+        """
+        if size < 1:
+            raise ValueError("chunk size must be positive")
+        if not self.raws:
+            return [
+                CandidateBatch(
+                    raws=[], templates=[], attempts=self.attempts,
+                    generate_seconds=self.generate_seconds,
+                )
+            ]
+        out: list[CandidateBatch] = []
+        for lo in range(0, len(self.raws), size):
+            hi = min(lo + size, len(self.raws))
+            last = hi == len(self.raws)
+            out.append(
+                CandidateBatch(
+                    raws=self.raws[lo:hi],
+                    templates=self.templates[lo:hi],
+                    attempts=(
+                        self.attempts - lo if last else hi - lo
+                    ),
+                    generate_seconds=self.generate_seconds if last else 0.0,
+                )
+            )
+        return out
 
 
 @dataclass

@@ -1,0 +1,72 @@
+"""The async generation service: serve concurrent clients over one engine.
+
+This subsystem wraps the one-shot :func:`repro.engine.run_generation`
+machinery in a long-lived asyncio service:
+
+* :class:`GenerationService` — bounded request queue, a micro-batching
+  scheduler that coalesces compatible requests from concurrent clients
+  into shared executor runs, streaming per-request results, and
+  session-scoped library stores with arrival-order merges and periodic
+  snapshot checkpoints;
+* :class:`MicroBatchScheduler` / :class:`SchedulerConfig` — the pure
+  coalescing rules (group by compatibility key, arrival order inside a
+  batch, priority across batches);
+* :class:`SessionManager` / :class:`SessionConfig` — shared or per-tenant
+  stores, snapshot-loaded and checkpointed via :mod:`repro.library`;
+* :class:`ServiceClient` — the blocking in-process client used by tests
+  and benchmarks;
+* :func:`serve` — the stdlib TCP line-JSON front end behind
+  ``repro serve``.
+
+Typical in-process use::
+
+    from repro.engine import GenerationRequest
+    from repro.service import ServiceClient, ServiceConfig
+
+    with ServiceClient(ServiceConfig(jobs=4)) as client:
+        batches = client.generate_many(
+            [GenerationRequest(backend="rule", count=20, seed=s)
+             for s in range(8)],
+            session="shared",
+        )
+
+Every served request is bit-identical to a serial ``run_generation`` of
+the same request: the model and denoise stages consume the request's own
+seeded rng stream, and only the content-keyed DRC sweep is shared across
+a micro-batch.
+"""
+
+from .client import ClientTicket, ServiceClient
+from .scheduler import (
+    MicroBatch,
+    MicroBatchScheduler,
+    PendingRequest,
+    SchedulerConfig,
+)
+from .server import handle_connection, serve
+from .service import (
+    GenerationService,
+    ResultStream,
+    ServiceConfig,
+    ServiceStats,
+)
+from .session import SHARED_SESSION, Session, SessionConfig, SessionManager
+
+__all__ = [
+    "SHARED_SESSION",
+    "ClientTicket",
+    "GenerationService",
+    "MicroBatch",
+    "MicroBatchScheduler",
+    "PendingRequest",
+    "ResultStream",
+    "SchedulerConfig",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceStats",
+    "Session",
+    "SessionConfig",
+    "SessionManager",
+    "handle_connection",
+    "serve",
+]

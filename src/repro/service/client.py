@@ -1,0 +1,174 @@
+"""In-process client for the generation service.
+
+:class:`ServiceClient` runs a :class:`~repro.service.GenerationService`
+on a private event loop in a background thread and exposes a blocking
+API, so synchronous code — tests, benchmarks, notebooks — can exercise
+the full queue/scheduler/streaming path without writing any asyncio:
+
+    with ServiceClient(ServiceConfig(jobs=4)) as client:
+        batch = client.generate(GenerationRequest(backend="rule", count=20))
+        batches = client.generate_many(requests)        # concurrent
+        ticket = client.submit(request)                 # streaming
+        for chunk in ticket.chunks():
+            ...
+        final = ticket.result()
+
+``generate_many`` submits every request before waiting on any result,
+which is what lets the service's gather window coalesce them into
+micro-batches — the in-process equivalent of N concurrent clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Iterator, Sequence
+
+from ..engine import CandidateBatch, GenerationBatch, GenerationRequest
+from .service import GenerationService, ResultStream, ServiceConfig
+
+__all__ = ["ClientTicket", "ServiceClient"]
+
+
+class ClientTicket:
+    """Blocking view of one request's :class:`ResultStream`."""
+
+    def __init__(self, stream: ResultStream, loop: asyncio.AbstractEventLoop):
+        self._stream = stream
+        self._loop = loop
+
+    @property
+    def request_id(self) -> str:
+        return self._stream.request_id
+
+    def chunks(self) -> Iterator[CandidateBatch]:
+        """Iterate streamed chunks, blocking until each arrives."""
+        while True:
+            if self._loop.is_closed():
+                # Client closed mid-stream: deliveries have stopped, so
+                # drain what already arrived and end the iteration.
+                while (chunk := self._stream.next_chunk_now()) is not None:
+                    yield chunk
+                return
+            chunk = asyncio.run_coroutine_threadsafe(
+                self._stream.next_chunk(), self._loop
+            ).result()
+            if chunk is None:
+                return
+            yield chunk
+
+    def result(self, timeout: float | None = None) -> GenerationBatch:
+        """Block for the final batch (raises if the request failed).
+
+        Works after the client is closed too: a stream the service
+        resolved before shutdown still yields its result (or error).
+        """
+        if self._loop.is_closed():
+            return self._stream.result_now()
+        return asyncio.run_coroutine_threadsafe(
+            self._stream.result(), self._loop
+        ).result(timeout)
+
+
+class ServiceClient:
+    """Drives a service on a background event-loop thread (context manager)."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        service: GenerationService | None = None,
+    ):
+        self._service = service or GenerationService(config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def service(self) -> GenerationService:
+        return self._service
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceClient":
+        """Spin up the loop thread and start the service (idempotent)."""
+        if self._loop is not None:
+            return self
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def runner() -> None:
+            asyncio.set_event_loop(loop)
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(
+            target=runner, name="repro-service-loop", daemon=True
+        )
+        thread.start()
+        started.wait()
+        self._loop, self._thread = loop, thread
+        asyncio.run_coroutine_threadsafe(self._service.start(), loop).result()
+        return self
+
+    def close(self, *, checkpoint: bool = True) -> None:
+        """Stop the service and tear the loop thread down (idempotent)."""
+        loop, self._loop = self._loop, None
+        thread, self._thread = self._thread, None
+        if loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(
+            self._service.stop(checkpoint=checkpoint), loop
+        ).result()
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join()
+        loop.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: GenerationRequest, *, session: str | None = None
+    ) -> ClientTicket:
+        """Queue a request; returns a blocking ticket (chunks + result)."""
+        if self._loop is None:
+            raise RuntimeError("client is not started (use 'with' or start())")
+        stream = asyncio.run_coroutine_threadsafe(
+            self._service.submit(request, session=session), self._loop
+        ).result()
+        return ClientTicket(stream, self._loop)
+
+    def generate(
+        self,
+        request: GenerationRequest,
+        *,
+        session: str | None = None,
+        timeout: float | None = None,
+    ) -> GenerationBatch:
+        """Submit one request and block for its final batch."""
+        return self.submit(request, session=session).result(timeout)
+
+    def generate_many(
+        self,
+        requests: Sequence[GenerationRequest],
+        *,
+        session: str | None = None,
+        timeout: float | None = None,
+    ) -> list[GenerationBatch]:
+        """Submit every request, then gather all results.
+
+        Submission happens in sequence order (that order is the service's
+        arrival order, hence the session-merge order); execution overlaps
+        through the service's micro-batching.
+        """
+        tickets = [
+            self.submit(request, session=session) for request in requests
+        ]
+        return [ticket.result(timeout) for ticket in tickets]

@@ -1,0 +1,128 @@
+"""Cross-client micro-batching: coalesce compatible queued requests.
+
+The scheduler is deliberately pure — it takes the requests one gather
+window collected off the queue and groups them into :class:`MicroBatch`\\ es
+by :meth:`~repro.engine.GenerationRequest.compatibility_key` (same
+backend, deck geometry, clip shape and params), preserving arrival order
+inside every group.  The asyncio machinery that feeds it lives in
+:mod:`repro.service.service`; keeping the grouping side-effect-free makes
+the coalescing rules unit-testable without an event loop.
+
+Ordering rules:
+
+* within a micro-batch, requests keep **arrival order** — this is what
+  makes session-store merges deterministic for a fixed submission order;
+* micro-batches are ordered by the highest ``priority`` they contain
+  (descending), ties broken by earliest arrival — priorities reorder
+  whole batches, never the requests inside one;
+* a group splits when it exceeds ``max_batch_requests`` requests or
+  ``max_batch_attempts`` summed attempt counts, so one large client
+  cannot stretch a micro-batch (and every co-batched client's latency)
+  without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..engine import GenerationRequest
+
+__all__ = ["SchedulerConfig", "PendingRequest", "MicroBatch", "MicroBatchScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Coalescing knobs.
+
+    ``gather_window_s`` is how long the service keeps the window open for
+    co-arriving requests after the first one is dequeued (the classic
+    micro-batching latency/throughput trade); the two ``max_batch_*``
+    caps bound what one micro-batch may contain.
+    """
+
+    max_batch_requests: int = 8
+    max_batch_attempts: int = 1024
+    gather_window_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be positive")
+        if self.max_batch_attempts < 1:
+            raise ValueError("max_batch_attempts must be positive")
+        if self.gather_window_s < 0:
+            raise ValueError("gather_window_s must be non-negative")
+
+
+@dataclass
+class PendingRequest:
+    """A queued request plus its service-side bookkeeping.
+
+    ``arrival`` is the service's monotonically increasing submission
+    index — the canonical order for session merges.  ``stream`` is the
+    :class:`~repro.service.ResultStream` results are published to (typed
+    ``Any`` to keep the scheduler import-light and testable standalone).
+    """
+
+    arrival: int
+    request: GenerationRequest
+    session_id: str | None = None
+    stream: Any = None
+
+
+@dataclass
+class MicroBatch:
+    """Compatible requests the executor will serve as one unit."""
+
+    key: tuple
+    entries: list[PendingRequest] = field(default_factory=list)
+
+    @property
+    def attempts(self) -> int:
+        """Summed attempt counts across the batch's requests."""
+        return sum(entry.request.count for entry in self.entries)
+
+    @property
+    def priority(self) -> int:
+        """The batch's scheduling priority (highest member wins)."""
+        return max(entry.request.priority for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class MicroBatchScheduler:
+    """Groups pending requests into ordered micro-batches."""
+
+    def __init__(self, config: SchedulerConfig | None = None):
+        self.config = config or SchedulerConfig()
+
+    def coalesce(self, pending: Sequence[PendingRequest]) -> list[MicroBatch]:
+        """Group one gather window's requests into micro-batches."""
+        cfg = self.config
+        groups: dict[tuple, list[PendingRequest]] = {}
+        for entry in sorted(pending, key=lambda p: p.arrival):
+            key = entry.request.compatibility_key()
+            groups.setdefault(key, []).append(entry)
+
+        batches: list[MicroBatch] = []
+        for key, entries in groups.items():
+            batch = MicroBatch(key)
+            attempts = 0
+            for entry in entries:
+                overfull = batch.entries and (
+                    len(batch) >= cfg.max_batch_requests
+                    or attempts + entry.request.count > cfg.max_batch_attempts
+                )
+                if overfull:
+                    batches.append(batch)
+                    batch = MicroBatch(key)
+                    attempts = 0
+                batch.entries.append(entry)
+                attempts += entry.request.count
+            batches.append(batch)
+
+        batches.sort(
+            key=lambda b: (-b.priority, min(e.arrival for e in b.entries))
+        )
+        return batches

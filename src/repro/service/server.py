@@ -1,0 +1,191 @@
+"""Newline-delimited-JSON TCP front end for the generation service.
+
+``repro serve`` exposes :class:`~repro.service.GenerationService` over a
+plain socket using only the standard library (asyncio streams — no web
+framework).  One JSON object per line in, one JSON event per line out:
+
+request::
+
+    {"backend": "rule", "count": 8, "seed": 3}
+    {"backend": "rule", "count": 8, "deck": "basic", "session": "tenant-a",
+     "priority": 5, "params": {...}}
+    {"op": "ping"}          {"op": "stats"}
+
+events (all carry ``request_id`` when tied to a request)::
+
+    {"event": "accepted", "request_id": "..."}
+    {"event": "chunk",    "request_id": "...", "proposed": 8}
+    {"event": "result",   "request_id": "...", "attempts": 8, "legal": 7,
+     "admitted": 5, "library_size": 5, "seconds": 0.41}
+    {"event": "error",    "message": "..."}
+
+A connection may pipeline: every request line spawns a forwarder task, so
+several requests stream back interleaved (demultiplex on ``request_id``).
+Clip payloads stay server-side by design — sessions persist them via the
+library snapshot machinery; the wire carries accounting, which is what a
+dispatching client needs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..engine import GenerationRequest
+from .service import GenerationService, ResultStream
+
+__all__ = ["serve", "handle_connection"]
+
+
+def _request_from_message(message: dict, default_deck: str | None) -> GenerationRequest:
+    """Build a validated request from one decoded JSON line."""
+    if "backend" not in message:
+        raise ValueError("request needs a 'backend' field")
+    if "count" not in message:
+        raise ValueError("request needs a 'count' field")
+    deck = None
+    deck_name = message.get("deck", default_deck)
+    if deck_name is not None:
+        from ..drc.decks import deck_by_name
+        from ..zoo.corpora import EXPERIMENT_GRID
+
+        deck = deck_by_name(str(deck_name), EXPERIMENT_GRID)
+    return GenerationRequest(
+        backend=message["backend"],
+        count=message["count"],
+        seed=int(message.get("seed", 0)),
+        deck=deck,
+        params=message.get("params", {}),
+        priority=int(message.get("priority", 0)),
+    )
+
+
+async def _forward(
+    stream: ResultStream,
+    writer: asyncio.StreamWriter,
+    write_lock: asyncio.Lock,
+) -> None:
+    """Relay one request's chunks and final result onto the wire."""
+
+    async def emit(payload: dict) -> None:
+        async with write_lock:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+
+    try:
+        async for chunk in stream.chunks():
+            await emit({
+                "event": "chunk",
+                "request_id": stream.request_id,
+                "proposed": len(chunk.raws),
+            })
+        batch = await stream.result()
+        await emit({
+            "event": "result",
+            "request_id": stream.request_id,
+            "attempts": batch.attempts,
+            "legal": batch.legal_count,
+            "admitted": batch.admitted,
+            "library_size": len(batch.library),
+            "seconds": round(batch.timings.total_seconds, 4),
+        })
+    except (ConnectionError, asyncio.CancelledError):
+        raise
+    except Exception as error:  # noqa: BLE001 - reported on the wire
+        try:
+            await emit({
+                "event": "error",
+                "request_id": stream.request_id,
+                "message": str(error),
+            })
+        except ConnectionError:
+            pass
+
+
+async def handle_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    service: GenerationService,
+    *,
+    default_deck: str | None = None,
+) -> None:
+    """Serve one client connection until EOF."""
+    write_lock = asyncio.Lock()
+    forwarders: set[asyncio.Task] = set()
+
+    async def emit(payload: dict) -> None:
+        async with write_lock:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                message = json.loads(text)
+                if not isinstance(message, dict):
+                    raise ValueError("expected a JSON object per line")
+                op = message.get("op")
+                if op == "ping":
+                    await emit({"event": "pong"})
+                    continue
+                if op == "stats":
+                    stats = service.stats
+                    await emit({
+                        "event": "stats",
+                        "submitted": stats.submitted,
+                        "completed": stats.completed,
+                        "failed": stats.failed,
+                        "cycles": stats.cycles,
+                        "micro_batches": stats.micro_batches,
+                        "peak_coalesced": stats.peak_coalesced,
+                        "queue_depth": service.queue_depth,
+                    })
+                    continue
+                if op is not None:
+                    raise ValueError(f"unknown op {op!r}")
+                request = _request_from_message(message, default_deck)
+                stream = await service.submit(
+                    request, session=message.get("session")
+                )
+            except (ValueError, TypeError, KeyError, json.JSONDecodeError) as error:
+                await emit({"event": "error", "message": str(error)})
+                continue
+            await emit({"event": "accepted", "request_id": stream.request_id})
+            task = asyncio.ensure_future(_forward(stream, writer, write_lock))
+            forwarders.add(task)
+            task.add_done_callback(forwarders.discard)
+        if forwarders:
+            await asyncio.gather(*forwarders, return_exceptions=True)
+    except ConnectionError:
+        pass
+    finally:
+        for task in list(forwarders):
+            task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def serve(
+    service: GenerationService,
+    host: str = "127.0.0.1",
+    port: int = 8157,
+    *,
+    default_deck: str | None = None,
+) -> asyncio.AbstractServer:
+    """Open the TCP front end (the service must already be started)."""
+
+    async def handler(reader, writer):
+        await handle_connection(
+            reader, writer, service, default_deck=default_deck
+        )
+
+    return await asyncio.start_server(handler, host, port)

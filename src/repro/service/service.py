@@ -1,0 +1,549 @@
+"""The asyncio generation service: queue -> scheduler -> shared executors.
+
+:class:`GenerationService` turns the one-shot
+:func:`repro.engine.run_generation` machinery into a long-lived server:
+
+* **bounded request queue** — :meth:`~GenerationService.submit` enqueues a
+  :class:`~repro.engine.GenerationRequest` and returns a
+  :class:`ResultStream`; when the queue is full, submission awaits
+  (backpressure) instead of growing memory without bound;
+* **cross-client micro-batching** — a gather window collects co-arriving
+  requests, and the :class:`~repro.service.scheduler.MicroBatchScheduler`
+  coalesces compatible ones (same backend/deck/shape) into micro-batches
+  served by one warm backend instance and executor: the model stage runs
+  per request (each request's own seeded rng stream — outputs stay
+  bit-identical to a serial ``run_generation``), while the DRC stage runs
+  as **one** cached sweep over the whole micro-batch;
+* **streaming results** — each request's proposal is streamed back as
+  :class:`~repro.engine.CandidateBatch` chunks, followed by the final
+  :class:`~repro.engine.GenerationBatch`;
+* **session-scoped libraries** — requests that name a session admit into
+  that session's store (see :mod:`repro.service.session`); admissions are
+  merged one request at a time in **arrival order** on the single worker
+  thread, and sessions checkpoint with
+  :func:`repro.library.save_library` between batches.
+
+All engine work runs on one dedicated worker thread, keeping the event
+loop free for queueing/streaming and making cycle execution — and
+therefore session-store growth — sequential and deterministic for a
+fixed submission order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import AsyncIterator
+
+import numpy as np
+
+from ..engine import (
+    BatchExecutor,
+    CandidateBatch,
+    ExecutionPlan,
+    ExecutorConfig,
+    GenerationBatch,
+    GenerationRequest,
+    GeneratorBackend,
+    StageTimings,
+    get_backend,
+)
+from .scheduler import MicroBatch, MicroBatchScheduler, PendingRequest, SchedulerConfig
+from .session import SessionConfig, SessionManager
+
+__all__ = ["ServiceConfig", "ServiceStats", "ResultStream", "GenerationService"]
+
+_DONE = object()  # chunk-queue sentinel: no more chunks
+
+
+def _split_by_share(total: int, sizes: list[int]) -> list[int]:
+    """Split an integer ``total`` proportionally to ``sizes`` (sums exactly).
+
+    Cumulative rounding: share_i = floor(total * cum_i / n) - floor(total *
+    cum_{i-1} / n), so the parts always add up to ``total``.
+    """
+    n = sum(sizes)
+    if n == 0:
+        return [0] * len(sizes)
+    out, cum, prev = [], 0, 0
+    for size in sizes:
+        cum += size
+        cut = total * cum // n
+        out.append(cut - prev)
+        prev = cut
+    return out
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs.
+
+    ``queue_size`` bounds the request queue (submission awaits when
+    full).  ``jobs``/``pool``/``model_jobs`` configure the shared
+    executors exactly like :func:`repro.engine.run_generation`'s
+    parameters, so a service-served request is bit-identical to a serial
+    one.  ``stream_chunk`` is the number of candidates per streamed
+    :class:`~repro.engine.CandidateBatch` chunk.
+    """
+
+    queue_size: int = 64
+    jobs: int = 1
+    pool: str = "thread"
+    model_jobs: int = 1
+    stream_chunk: int = 32
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    sessions: SessionConfig = field(default_factory=SessionConfig)
+
+    def __post_init__(self) -> None:
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be positive")
+        if self.jobs < 1 or self.model_jobs < 1:
+            raise ValueError("jobs and model_jobs must be positive")
+        if self.stream_chunk < 1:
+            raise ValueError("stream_chunk must be positive")
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters (read-mostly; mutated on the worker thread)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cycles: int = 0
+    micro_batches: int = 0
+    peak_coalesced: int = 0  # most requests ever served by one micro-batch
+    checkpoints: int = 0
+
+
+class ResultStream:
+    """Per-request handle: an async iterator of chunks plus the final batch.
+
+    Chunks arrive as the model stage finishes (before DRC), so a client
+    can render candidates while legality checking is still running; the
+    final :class:`~repro.engine.GenerationBatch` carries the verdicts and
+    admission counts.  Iterating chunks is optional — awaiting
+    :meth:`result` alone is the common fast path.
+    """
+
+    def __init__(self, request: GenerationRequest, loop: asyncio.AbstractEventLoop):
+        self.request = request
+        self._loop = loop
+        self._chunks: asyncio.Queue = asyncio.Queue()
+        self._final: asyncio.Future = loop.create_future()
+        # Retrieve the exception eagerly so an un-awaited failed stream
+        # does not warn at GC time; result() still raises for callers.
+        self._final.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._drained = False
+
+    @property
+    def request_id(self) -> str:
+        return self.request.request_id
+
+    @property
+    def done(self) -> bool:
+        return self._final.done()
+
+    # -- worker-thread side (always via loop.call_soon_threadsafe) ------
+    def _deliver_chunk(self, chunk: CandidateBatch) -> None:
+        self._chunks.put_nowait(chunk)
+
+    def _deliver_result(self, batch: GenerationBatch) -> None:
+        if not self._final.done():
+            self._final.set_result(batch)
+        self._chunks.put_nowait(_DONE)
+
+    def _deliver_error(self, error: BaseException) -> None:
+        if not self._final.done():
+            self._final.set_exception(error)
+        self._chunks.put_nowait(_DONE)
+
+    # -- client side -----------------------------------------------------
+    async def next_chunk(self) -> CandidateBatch | None:
+        """The next streamed chunk, or ``None`` once the stream ended."""
+        if self._drained:
+            return None
+        item = await self._chunks.get()
+        if item is _DONE:
+            self._drained = True
+            return None
+        return item
+
+    async def chunks(self) -> AsyncIterator[CandidateBatch]:
+        """Async-iterate the streamed :class:`CandidateBatch` chunks."""
+        while (chunk := await self.next_chunk()) is not None:
+            yield chunk
+
+    def __aiter__(self) -> AsyncIterator[CandidateBatch]:
+        return self.chunks()
+
+    async def result(self) -> GenerationBatch:
+        """Await the final batch (raises if the request failed)."""
+        return await asyncio.shield(self._final)
+
+    def result_now(self) -> GenerationBatch:
+        """The final batch if the stream already resolved (no awaiting).
+
+        For consumers whose event loop is gone (e.g. a client read after
+        close); raises ``RuntimeError`` when no result was delivered.
+        """
+        if not self._final.done():
+            raise RuntimeError("request has not completed")
+        return self._final.result()
+
+    def next_chunk_now(self) -> CandidateBatch | None:
+        """Pop a delivered chunk without awaiting; ``None`` when drained.
+
+        Only meaningful once no more deliveries can arrive (stream done
+        or service stopped): an empty queue then means the stream ended.
+        """
+        if self._drained:
+            return None
+        try:
+            item = self._chunks.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+        if item is _DONE:
+            self._drained = True
+            return None
+        return item
+
+
+class GenerationService:
+    """Serves concurrent generation requests over shared engine state."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        session_manager: SessionManager | None = None,
+        backend_factory=get_backend,
+    ):
+        self.config = config or ServiceConfig()
+        self.scheduler = MicroBatchScheduler(self.config.scheduler)
+        self.sessions = session_manager or SessionManager(self.config.sessions)
+        self.stats = ServiceStats()
+        self._backend_factory = backend_factory
+        # Long-lived engine state, shared across requests: one backend per
+        # (name, deck) and one executor (warm pools + DRC cache) per deck.
+        self._backends: dict[tuple, GeneratorBackend] = {}
+        self._executors: dict[tuple, BatchExecutor] = {}
+        self._state_lock = threading.Lock()
+        self._queue: asyncio.Queue[PendingRequest] | None = None
+        self._task: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._worker: ThreadPoolExecutor | None = None
+        self._submit_lock: asyncio.Lock | None = None
+        self._arrival = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the queue."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    async def start(self) -> "GenerationService":
+        """Start the scheduler loop (idempotent)."""
+        if self.running:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._submit_lock = asyncio.Lock()
+        # One worker thread: cycles run sequentially, so session merges
+        # follow submission order exactly.
+        self._worker = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service"
+        )
+        self._task = self._loop.create_task(self._run())
+        return self
+
+    async def stop(self, *, checkpoint: bool = True) -> None:
+        """Drain and shut down (idempotent).
+
+        The in-flight cycle finishes (its streams resolve); requests
+        still queued fail with ``RuntimeError``.  Sessions with snapshot
+        directories take a final checkpoint unless ``checkpoint=False``.
+        """
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        worker, self._worker = self._worker, None
+        if worker is not None:
+            # Blocks until the in-flight cycle (if any) completes.
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: worker.shutdown(wait=True)
+            )
+        if self._queue is not None:
+            while not self._queue.empty():
+                self._fail_pending(self._queue.get_nowait())
+            self._queue = None
+        if checkpoint:
+            self.stats.checkpoints += len(self.sessions.checkpoint_all())
+        with self._state_lock:
+            executors = list(self._executors.values())
+            backends = list(self._backends.values())
+            self._executors.clear()
+            self._backends.clear()
+        for executor in executors:
+            executor.close()
+        for backend in backends:
+            close = getattr(backend, "close", None)
+            if callable(close):
+                close()
+
+    async def __aenter__(self) -> "GenerationService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        request: GenerationRequest,
+        *,
+        session: str | None = None,
+    ) -> ResultStream:
+        """Queue a request; returns its :class:`ResultStream`.
+
+        Awaits when the queue is full (backpressure).  ``session`` names
+        the library scope; ``None`` gives the request a private fresh
+        store, like a serial :func:`~repro.engine.run_generation` call.
+        """
+        if not self.running or self._queue is None:
+            raise RuntimeError("generation service is not running")
+        if session is not None:
+            # Syntax-check the id here (bad ids fail the submit); the
+            # store itself — possibly a large snapshot load — is
+            # materialised lazily on the worker thread, never on the
+            # event loop.
+            self.sessions.validate_id(session)
+        stream = ResultStream(request, self._loop)
+        # The lock serialises (index assignment, enqueue) so queue order
+        # always equals arrival order, even when the queue is full and
+        # several submitters are waiting.
+        async with self._submit_lock:
+            pending = PendingRequest(
+                arrival=self._arrival,
+                request=request,
+                session_id=session,
+                stream=stream,
+            )
+            self._arrival += 1
+            await self._queue.put(pending)
+        if not self.running:
+            # stop() ran while we were waiting on a full queue; the drain
+            # may already have missed this entry, so fail it here (the
+            # stream's done-guard makes a double delivery harmless).
+            self._fail_pending(pending)
+        self.stats.submitted += 1
+        return stream
+
+    # ------------------------------------------------------------------
+    # Scheduler loop (event-loop side)
+    # ------------------------------------------------------------------
+    def _fail_pending(self, pending: PendingRequest) -> None:
+        """Fail an undelivered request (loop thread; double-safe)."""
+        if not pending.stream.done:
+            self.stats.failed += 1
+        pending.stream._deliver_error(
+            RuntimeError("generation service stopped")
+        )
+
+    async def _run(self) -> None:
+        assert self._queue is not None and self._loop is not None
+        cfg = self.config.scheduler
+        while True:
+            batch: list[PendingRequest] = []
+            try:
+                batch.append(await self._queue.get())
+                deadline = self._loop.time() + cfg.gather_window_s
+                while len(batch) < cfg.max_batch_requests:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                        continue
+                    except asyncio.QueueEmpty:
+                        pass
+                    remaining = deadline - self._loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(
+                                self._queue.get(), remaining
+                            )
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            except asyncio.CancelledError:
+                # stop() cancelled us mid-gather: requests already pulled
+                # off the queue would otherwise never resolve.
+                for pending in batch:
+                    self._fail_pending(pending)
+                raise
+            micro_batches = self.scheduler.coalesce(batch)
+            # Once handed to the worker, a cancellation here no longer
+            # strands anything: the cycle runs to completion during
+            # stop()'s worker shutdown and resolves every stream.
+            await self._loop.run_in_executor(
+                self._worker, self._run_cycle, micro_batches
+            )
+
+    # ------------------------------------------------------------------
+    # Cycle execution (worker-thread side)
+    # ------------------------------------------------------------------
+    def _publish(self, stream: ResultStream, method, payload) -> None:
+        self._loop.call_soon_threadsafe(method.__get__(stream), payload)
+
+    def _backend_for(self, request: GenerationRequest) -> GeneratorBackend:
+        name, deck_key, _, _ = request.compatibility_key()
+        key = (name, deck_key)
+        with self._state_lock:
+            backend = self._backends.get(key)
+        if backend is None:
+            kwargs = {"deck": request.deck} if request.deck is not None else {}
+            backend = self._backend_factory(name, **kwargs)
+            with self._state_lock:
+                backend = self._backends.setdefault(key, backend)
+        return backend
+
+    def _executor_for(self, deck) -> BatchExecutor:
+        grid = deck.grid
+        key = (
+            deck.name, grid.nm_per_px, grid.width_px, grid.height_px,
+            repr(deck.rules),
+        )
+        with self._state_lock:
+            executor = self._executors.get(key)
+            if executor is None:
+                cfg = self.config
+                executor = BatchExecutor(
+                    deck.engine(),
+                    ExecutorConfig(
+                        jobs=cfg.jobs, pool=cfg.pool, model_jobs=cfg.model_jobs
+                    ),
+                )
+                self._executors[key] = executor
+            return executor
+
+    def _run_cycle(self, micro_batches: list[MicroBatch]) -> None:
+        """Serve one gather window's micro-batches (blocking).
+
+        Stages: per request — propose (model stage, the request's own rng
+        stream) then denoise; per micro-batch — one cached DRC sweep over
+        every candidate; then admissions for the whole cycle in global
+        arrival order, so session stores grow deterministically no matter
+        how requests were grouped.
+        """
+        self.stats.cycles += 1
+        ready: list[tuple] = []
+        for micro in micro_batches:
+            self.stats.micro_batches += 1
+            self.stats.peak_coalesced = max(self.stats.peak_coalesced, len(micro))
+            ready.extend(self._run_micro_batch(micro))
+
+        # Admission stage: strict arrival order across the whole cycle.
+        ready.sort(key=lambda item: item[0].arrival)
+        for pending, executor, plan, clips, legal, timings, hits, misses in ready:
+            try:
+                legal_clips = [c for c, ok in zip(clips, legal) if ok]
+                admitted = sum(executor.admit_batch(plan.library, legal_clips))
+                batch = executor.assemble(
+                    plan, clips, legal, admitted, timings,
+                    cache_hits=hits, cache_misses=misses,
+                )
+                if pending.session_id is not None:
+                    session = self.sessions.get(pending.session_id)
+                    if session.record_batch() is not None:
+                        self.stats.checkpoints += 1
+                # Count before publishing: a client that has seen the
+                # result must also see it reflected in the stats.
+                self.stats.completed += 1
+                self._publish(pending.stream, ResultStream._deliver_result, batch)
+            except Exception as error:  # noqa: BLE001 - surfaced per request
+                self.stats.failed += 1
+                self._publish(pending.stream, ResultStream._deliver_error, error)
+
+    def _run_micro_batch(self, micro: MicroBatch):
+        """Propose + denoise each request, then one DRC sweep; no admission."""
+        staged: list[tuple[PendingRequest, ExecutionPlan, list[np.ndarray], float]] = []
+        executor = None
+        for pending in micro.entries:
+            request = pending.request
+            try:
+                backend = self._backend_for(request)
+                deck = request.deck if request.deck is not None else backend.deck
+                executor = self._executor_for(deck)
+                library = None
+                if pending.session_id is not None:
+                    library = self.sessions.get(pending.session_id).store
+                plan = executor.plan(request, backend=backend, library=library)
+                proposal = executor.execute(plan)
+                for chunk in proposal.chunks(self.config.stream_chunk):
+                    if chunk.raws:
+                        self._publish(
+                            pending.stream, ResultStream._deliver_chunk, chunk
+                        )
+                clips, denoise_seconds = executor.denoise_batch(
+                    proposal.raws, proposal.templates, plan.rng
+                )
+                staged.append((pending, plan, clips, denoise_seconds))
+            except Exception as error:  # noqa: BLE001 - surfaced per request
+                self.stats.failed += 1
+                self._publish(pending.stream, ResultStream._deliver_error, error)
+        if not staged:
+            return []
+
+        # One cached DRC sweep over the whole micro-batch: per-clip
+        # verdicts are content-keyed, so splitting the mask back per
+        # request is bit-identical to per-request sweeps.
+        all_clips = [clip for _, _, clips, _ in staged for clip in clips]
+        cache = executor.engine.cache
+        hits0, misses0 = cache.hits, cache.misses
+        try:
+            legal_all, drc_seconds = executor.check_batch(all_clips)
+        except Exception as error:  # noqa: BLE001 - fail the whole batch
+            for pending, _, _, _ in staged:
+                self.stats.failed += 1
+                self._publish(pending.stream, ResultStream._deliver_error, error)
+            return []
+        # Attribute the sweep's cache traffic by candidate share, so a
+        # request's batch reports its own traffic, not the whole sweep's.
+        sizes = [len(clips) for _, _, clips, _ in staged]
+        hit_shares = _split_by_share(cache.hits - hits0, sizes)
+        miss_shares = _split_by_share(cache.misses - misses0, sizes)
+
+        out = []
+        offset = 0
+        total = max(len(all_clips), 1)
+        for (pending, plan, clips, denoise_seconds), hits, misses in zip(
+            staged, hit_shares, miss_shares
+        ):
+            legal = legal_all[offset:offset + len(clips)]
+            offset += len(clips)
+            timings = StageTimings(
+                denoise_seconds=denoise_seconds,
+                # The shared sweep's cost, attributed by candidate share.
+                drc_seconds=drc_seconds * (len(clips) / total),
+            )
+            out.append(
+                (pending, executor, plan, clips, legal, timings, hits, misses)
+            )
+        return out

@@ -1,4 +1,7 @@
-"""BatchExecutor behavior: pooling determinism, caching, chunking."""
+"""BatchExecutor behavior: pooling determinism, caching, chunking,
+close safety, and the staged plan/execute/finalize API."""
+
+import threading
 
 import numpy as np
 import pytest
@@ -166,6 +169,163 @@ class TestModelBatching:
                 [],
                 np.random.default_rng(0),
             )
+
+
+class TestCloseSafety:
+    """Satellite: close() is idempotent and safe under concurrent callers."""
+
+    def test_double_close_does_not_raise(self, deck, clips):
+        executor = BatchExecutor(deck.engine(), ExecutorConfig(jobs=2))
+        executor.check_batch(list(clips))  # materialise a pool
+        executor.close()
+        executor.close()
+
+    def test_close_never_used_executor(self, deck):
+        BatchExecutor(deck.engine()).close()
+
+    def test_concurrent_close_callers(self, deck, clips):
+        executor = BatchExecutor(deck.engine(), ExecutorConfig(jobs=2))
+        executor.check_batch(list(clips))
+        errors: list[BaseException] = []
+
+        def closer():
+            try:
+                executor.close()
+            except BaseException as error:  # noqa: BLE001 - test capture
+                errors.append(error)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_close_while_running_then_reuse(self, deck, clips, noisy_raws):
+        executor = BatchExecutor(deck.engine(), ExecutorConfig(jobs=2))
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    executor.postprocess(
+                        list(noisy_raws), list(clips), np.random.default_rng(3)
+                    )
+            except BaseException as error:  # noqa: BLE001 - test capture
+                errors.append(error)
+
+        worker = threading.Thread(target=hammer)
+        worker.start()
+        for _ in range(5):
+            executor.close()  # racing live postprocess calls
+        stop.set()
+        worker.join()
+        executor.close()
+        assert errors == []
+        # A closed executor lazily re-creates pools when used again.
+        mask, _ = executor.check_batch(list(clips))
+        assert mask.shape == (len(clips),)
+        executor.close()
+
+    def test_pipeline_close_propagates_to_owned_executor(self, deck, monkeypatch):
+        from repro.core.pipeline import PatternPaint
+        from repro.diffusion import Ddpm, linear_schedule
+        from repro.nn import TimeUnet, UNetConfig
+
+        ddpm = Ddpm(
+            TimeUnet(UNetConfig(
+                image_size=16, base_channels=8, channel_mults=(1,),
+                num_res_blocks=1, groups=4, time_dim=16, seed=0,
+            )),
+            linear_schedule(16),
+        )
+        pipeline = PatternPaint(ddpm, deck)
+        calls = []
+        monkeypatch.setattr(
+            pipeline.executor, "close", lambda: calls.append("owned")
+        )
+        pipeline.close()
+        assert calls == ["owned"]
+
+    def test_pipeline_leaves_shared_executor_open(self, deck, monkeypatch):
+        from repro.core.pipeline import PatternPaint
+        from repro.diffusion import Ddpm, linear_schedule
+        from repro.nn import TimeUnet, UNetConfig
+
+        shared = BatchExecutor(deck.engine())
+        ddpm = Ddpm(
+            TimeUnet(UNetConfig(
+                image_size=16, base_channels=8, channel_mults=(1,),
+                num_res_blocks=1, groups=4, time_dim=16, seed=0,
+            )),
+            linear_schedule(16),
+        )
+        pipeline = PatternPaint(ddpm, deck, executor=shared)
+        calls = []
+        monkeypatch.setattr(shared, "close", lambda: calls.append("shared"))
+        pipeline.close()
+        assert calls == []  # the owner closes shared executors
+        assert pipeline.executor is shared
+
+    def test_pipeline_rejects_mismatched_shared_executor(self, deck):
+        from repro.core.pipeline import PatternPaint, PatternPaintConfig
+        from repro.diffusion import Ddpm, linear_schedule
+        from repro.nn import TimeUnet, UNetConfig
+
+        shared = BatchExecutor(deck.engine(), ExecutorConfig(model_batch=8))
+        ddpm = Ddpm(
+            TimeUnet(UNetConfig(
+                image_size=16, base_channels=8, channel_mults=(1,),
+                num_res_blocks=1, groups=4, time_dim=16, seed=0,
+            )),
+            linear_schedule(16),
+        )
+        # model_batch changes rng chunking => seeded outputs; refuse it.
+        with pytest.raises(ValueError, match="model_batch"):
+            PatternPaint(
+                ddpm, deck, PatternPaintConfig(model_batch=32),
+                executor=shared,
+            )
+
+
+class TestStagedApi:
+    """plan/execute/finalize compose to exactly what run() produces."""
+
+    def test_staged_matches_run(self, deck):
+        backend = get_backend("rule", deck=deck)
+        request = GenerationRequest(backend="rule", count=6, seed=13, deck=deck)
+        monolithic = BatchExecutor(deck.engine()).run(request, backend=backend)
+
+        executor = BatchExecutor(deck.engine())
+        plan = executor.plan(request, backend=backend)
+        proposal = executor.execute(plan)
+        assert plan.proposal is proposal
+        staged = executor.finalize(plan)
+
+        assert staged.attempts == monolithic.attempts
+        for a, b in zip(monolithic.clips, staged.clips):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(monolithic.legal, staged.legal)
+        assert staged.admitted == monolithic.admitted
+        assert len(staged.library) == len(monolithic.library)
+
+    def test_finalize_before_execute_rejected(self, deck):
+        executor = BatchExecutor(deck.engine())
+        plan = executor.plan(
+            GenerationRequest(backend="rule", count=2, seed=0, deck=deck)
+        )
+        with pytest.raises(ValueError, match="not been executed"):
+            executor.finalize(plan)
+
+    def test_plan_resolves_backend_and_library(self, deck):
+        executor = BatchExecutor(deck.engine())
+        plan = executor.plan(
+            GenerationRequest(backend="rule", count=2, seed=0, deck=deck)
+        )
+        assert plan.backend.name == "rule"
+        assert len(plan.library) == 0
+        assert plan.proposal is None
 
 
 class TestRunGeneration:

@@ -122,8 +122,8 @@ class TestPersistentPools:
         )
         raws = [np.zeros((16, 16), dtype=np.float32) for _ in range(4)]
         executor.denoise_batch(raws, [None] * 4, np.random.default_rng(0))
-        pool = executor._pools[("thread", 2)]
-        assert pool._max_workers == 2
+        lease = executor._pools[("thread", 2)]
+        assert lease.pool._max_workers == 2
         executor.close()
 
     def test_context_manager_closes(self, deck):

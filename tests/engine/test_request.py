@@ -1,0 +1,128 @@
+"""GenerationRequest validation, identity and compatibility keys."""
+
+import numpy as np
+import pytest
+
+from repro.drc import advanced_deck, basic_deck
+from repro.engine import GenerationRequest
+from repro.geometry import Grid
+
+GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+class TestValidation:
+    """Satellite: bad count / unknown backend fail at construction."""
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count must be a positive"):
+            GenerationRequest(backend="rule", count=0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="count must be a positive"):
+            GenerationRequest(backend="rule", count=-5)
+
+    def test_non_integer_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            GenerationRequest(backend="rule", count=2.5)
+
+    def test_unknown_backend_rejected_with_registered_names(self):
+        with pytest.raises(ValueError, match="unknown backend") as excinfo:
+            GenerationRequest(backend="definitely-not-a-backend", count=1)
+        # The message tells the caller what *would* work.
+        assert "rule" in str(excinfo.value)
+
+    def test_empty_backend_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            GenerationRequest(backend="", count=1)
+
+    def test_user_registered_backend_accepted(self):
+        from repro.engine import CandidateBatch, register_backend
+
+        class TinyBackend:
+            name = "test-request-validation"
+
+            def __init__(self, deck=None):
+                self._deck = deck
+
+            @property
+            def deck(self):
+                return self._deck
+
+            def propose(self, request, rng):
+                return CandidateBatch.from_clips([], attempts=request.count)
+
+        register_backend(
+            "test-request-validation", TinyBackend, overwrite=True
+        )
+        request = GenerationRequest(
+            backend="test-request-validation", count=3
+        )
+        assert request.backend == "test-request-validation"
+
+    def test_empty_templates_rejected(self):
+        with pytest.raises(ValueError, match="templates"):
+            GenerationRequest(backend="rule", count=1, templates=())
+
+
+class TestIdentity:
+    def test_request_ids_unique_by_default(self):
+        a = GenerationRequest(backend="rule", count=1)
+        b = GenerationRequest(backend="rule", count=1)
+        assert a.request_id and b.request_id
+        assert a.request_id != b.request_id
+
+    def test_explicit_request_id_kept(self):
+        request = GenerationRequest(backend="rule", count=1, request_id="r-1")
+        assert request.request_id == "r-1"
+
+    def test_priority_defaults_to_zero(self):
+        assert GenerationRequest(backend="rule", count=1).priority == 0
+
+
+class TestCompatibilityKey:
+    def test_same_backend_deck_shape_compatible(self):
+        deck = advanced_deck(GRID)
+        a = GenerationRequest(backend="rule", count=5, seed=1, deck=deck)
+        b = GenerationRequest(backend="rule", count=9, seed=2, deck=deck,
+                              priority=3)
+        # seed/count/priority/id do not participate.
+        assert a.compatibility_key() == b.compatibility_key()
+
+    def test_equal_decks_compatible_across_instances(self):
+        a = GenerationRequest(backend="rule", count=1, deck=advanced_deck(GRID))
+        b = GenerationRequest(backend="rule", count=1, deck=advanced_deck(GRID))
+        assert a.compatibility_key() == b.compatibility_key()
+
+    def test_different_backend_or_deck_incompatible(self):
+        deck = advanced_deck(GRID)
+        base = GenerationRequest(backend="rule", count=1, deck=deck)
+        other_backend = GenerationRequest(backend="solver", count=1, deck=deck)
+        other_deck = GenerationRequest(
+            backend="rule", count=1, deck=basic_deck(GRID)
+        )
+        assert base.compatibility_key() != other_backend.compatibility_key()
+        assert base.compatibility_key() != other_deck.compatibility_key()
+
+    def test_template_shape_participates(self):
+        small = GenerationRequest(
+            backend="rule", count=1,
+            templates=(np.zeros((16, 16), dtype=np.uint8),),
+        )
+        large = GenerationRequest(
+            backend="rule", count=1,
+            templates=(np.zeros((32, 32), dtype=np.uint8),),
+        )
+        assert small.clip_shape == (16, 16)
+        assert small.compatibility_key() != large.compatibility_key()
+
+    def test_params_participate(self):
+        a = GenerationRequest(backend="rule", count=1, params={"k": 1})
+        b = GenerationRequest(backend="rule", count=1, params={"k": 2})
+        assert a.compatibility_key() != b.compatibility_key()
+
+    def test_key_is_hashable(self):
+        deck = advanced_deck(GRID)
+        key = GenerationRequest(
+            backend="rule", count=1, deck=deck
+        ).compatibility_key()
+        assert hash(key) == hash(key)

@@ -1,0 +1,146 @@
+"""TCP line-JSON front end: protocol round-trips and error reporting."""
+
+import asyncio
+import json
+
+from repro.service import GenerationService, ServiceConfig, serve
+
+
+async def _round_trip(lines, *, config=None, stop_after=None, default_deck="advanced"):
+    """Start service+server, send ``lines``, read events until done."""
+    service = GenerationService(config or ServiceConfig())
+    await service.start()
+    server = await serve(service, "127.0.0.1", 0, default_deck=default_deck)
+    port = server.sockets[0].getsockname()[1]
+    events = []
+    try:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        for line in lines:
+            writer.write(json.dumps(line).encode() + b"\n")
+        await writer.drain()
+        writer.write_eof()
+        while True:
+            raw = await asyncio.wait_for(reader.readline(), timeout=30)
+            if not raw:
+                break
+            events.append(json.loads(raw))
+            if stop_after is not None and stop_after(events):
+                break
+        writer.close()
+        await writer.wait_closed()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.stop()
+    return events
+
+
+def _results(events):
+    return [e for e in events if e.get("event") == "result"]
+
+
+class TestProtocol:
+    def test_request_streams_accepted_chunks_result(self):
+        events = asyncio.run(_round_trip(
+            [{"backend": "rule", "count": 4, "seed": 3}]
+        ))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "accepted"
+        assert "chunk" in kinds
+        (result,) = _results(events)
+        assert result["attempts"] == 4
+        assert result["legal"] <= 4
+        assert result["request_id"] == events[0]["request_id"]
+
+    def test_pipelined_requests_demultiplex_by_id(self):
+        events = asyncio.run(_round_trip([
+            {"backend": "rule", "count": 3, "seed": s} for s in range(3)
+        ]))
+        accepted = [e for e in events if e["event"] == "accepted"]
+        results = _results(events)
+        assert len(accepted) == len(results) == 3
+        assert {e["request_id"] for e in accepted} == {
+            e["request_id"] for e in results
+        }
+
+    def test_session_scope_shares_one_store_across_wire_requests(self):
+        # Same seed twice into one session: the second request's clips are
+        # all duplicates of the first's, so it admits nothing.
+        events = asyncio.run(_round_trip([
+            {"backend": "rule", "count": 4, "seed": 3, "session": "t"}
+            for _ in range(2)
+        ]))
+        results = _results(events)
+        assert len(results) == 2
+        assert sorted(e["admitted"] for e in results)[0] == 0
+        assert sum(e["admitted"] for e in results) == max(
+            e["library_size"] for e in results
+        )
+
+    def test_ping_and_stats(self):
+        events = asyncio.run(_round_trip([
+            {"op": "ping"},
+            {"backend": "rule", "count": 2, "seed": 0},
+            {"op": "stats"},
+        ]))
+        kinds = [e["event"] for e in events]
+        assert "pong" in kinds
+        stats = next(e for e in events if e["event"] == "stats")
+        assert stats["submitted"] >= 1
+
+
+class TestErrors:
+    def test_unknown_backend_reports_error_event(self):
+        events = asyncio.run(_round_trip(
+            [{"backend": "no-such-backend", "count": 1}],
+            stop_after=lambda ev: ev[-1]["event"] == "error",
+        ))
+        assert "unknown backend" in events[-1]["message"]
+
+    def test_bad_json_reports_error_and_keeps_connection(self):
+        async def run():
+            service = GenerationService()
+            await service.start()
+            server = await serve(service, "127.0.0.1", 0,
+                                 default_deck="advanced")
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(b"this is not json\n")
+                writer.write(b'{"backend": "rule", "count": 2}\n')
+                await writer.drain()
+                writer.write_eof()
+                events = []
+                while True:
+                    raw = await asyncio.wait_for(reader.readline(), timeout=30)
+                    if not raw:
+                        break
+                    events.append(json.loads(raw))
+                writer.close()
+                await writer.wait_closed()
+                return events
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.stop()
+
+        events = asyncio.run(run())
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "error"  # the bad line
+        assert "result" in kinds  # the good line still served
+
+    def test_missing_fields_rejected(self):
+        events = asyncio.run(_round_trip(
+            [{"count": 3}],
+            stop_after=lambda ev: ev[-1]["event"] == "error",
+        ))
+        assert "backend" in events[-1]["message"]
+
+    def test_non_positive_count_rejected(self):
+        events = asyncio.run(_round_trip(
+            [{"backend": "rule", "count": 0}],
+            stop_after=lambda ev: ev[-1]["event"] == "error",
+        ))
+        assert "count" in events[-1]["message"]

@@ -1,0 +1,262 @@
+"""GenerationService behaviour: determinism under concurrency, streaming,
+session merges, error paths."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.library import PatternLibrary
+from repro.drc import advanced_deck
+from repro.engine import GenerationRequest, run_generation
+from repro.geometry import Grid
+from repro.service import (
+    SchedulerConfig,
+    ServiceClient,
+    ServiceConfig,
+    SessionConfig,
+)
+
+GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return advanced_deck(GRID)
+
+
+def _requests(deck, n, *, count=5, base_seed=0):
+    return [
+        GenerationRequest(backend="rule", count=count, seed=base_seed + i,
+                          deck=deck)
+        for i in range(n)
+    ]
+
+
+def _assert_batches_identical(a, b):
+    assert a.attempts == b.attempts
+    assert len(a.clips) == len(b.clips)
+    for x, y in zip(a.clips, b.clips):
+        np.testing.assert_array_equal(x, y)
+    np.testing.assert_array_equal(a.legal, b.legal)
+    assert a.admitted == b.admitted
+
+
+class TestDeterminismUnderConcurrency:
+    """Satellite: N concurrent clients == N serial run_generation calls."""
+
+    def test_concurrent_submissions_bit_identical_to_serial(self, deck):
+        requests = _requests(deck, 8)
+        serial = [run_generation(request) for request in requests]
+        config = ServiceConfig(
+            scheduler=SchedulerConfig(gather_window_s=0.02)
+        )
+        with ServiceClient(config) as client:
+            served = client.generate_many(requests)
+            assert client.service.stats.peak_coalesced > 1  # really coalesced
+        for a, b in zip(serial, served):
+            _assert_batches_identical(a, b)
+
+    def test_concurrent_client_threads_bit_identical_to_serial(self, deck):
+        requests = _requests(deck, 6, count=4, base_seed=20)
+        serial = [run_generation(request) for request in requests]
+        results: dict[int, object] = {}
+        with ServiceClient() as client:
+            def worker(i):
+                results[i] = client.generate(requests[i])
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(requests))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for i, reference in enumerate(serial):
+            _assert_batches_identical(reference, results[i])
+
+    def test_pooled_service_matches_serial(self, deck):
+        # jobs>1 through the whole service stack stays bit-identical.
+        requests = _requests(deck, 4, count=6, base_seed=40)
+        serial = [run_generation(request) for request in requests]
+        with ServiceClient(ServiceConfig(jobs=4)) as client:
+            served = client.generate_many(requests)
+        for a, b in zip(serial, served):
+            _assert_batches_identical(a, b)
+
+    def test_arrival_order_session_merge_is_deterministic(self, deck):
+        """Satellite: session deltas merge in arrival order -> one snapshot."""
+        requests = _requests(deck, 6, count=4, base_seed=7)
+        # Serial reference: one store, requests admitted in order.
+        reference = PatternLibrary(name="ref")
+        for request in requests:
+            run_generation(request, library=reference)
+
+        for trial in range(2):  # repeatable across service instances
+            config = ServiceConfig(
+                scheduler=SchedulerConfig(gather_window_s=0.02)
+            )
+            with ServiceClient(config) as client:
+                client.generate_many(requests, session="tenant")
+                store = client.service.sessions.get("tenant").store
+            assert len(store) == len(reference)
+            for a, b in zip(reference, store):
+                np.testing.assert_array_equal(a, b)
+
+    def test_session_admission_counts_reflect_cross_client_dedup(self, deck):
+        request = GenerationRequest(backend="rule", count=5, seed=3, deck=deck)
+        twin = GenerationRequest(backend="rule", count=5, seed=3, deck=deck)
+        with ServiceClient() as client:
+            first = client.generate(request, session="shared")
+            second = client.generate(twin, session="shared")
+        assert first.admitted > 0
+        assert second.admitted == 0  # same seed: all duplicates in-session
+
+
+class TestStreaming:
+    def test_chunks_then_final_result(self, deck):
+        request = GenerationRequest(backend="rule", count=9, seed=1, deck=deck)
+        with ServiceClient(ServiceConfig(stream_chunk=4)) as client:
+            ticket = client.submit(request)
+            chunks = list(ticket.chunks())
+            final = ticket.result()
+        assert [len(c.raws) for c in chunks] == [4, 4, 1]
+        assert sum(c.attempts for c in chunks) == final.attempts == 9
+        streamed = [raw for chunk in chunks for raw in chunk.raws]
+        for raw, clip in zip(streamed, final.clips):
+            np.testing.assert_array_equal(raw, clip)
+
+    def test_result_without_consuming_chunks(self, deck):
+        request = GenerationRequest(backend="rule", count=3, seed=2, deck=deck)
+        with ServiceClient() as client:
+            assert client.generate(request).legal_count == 3
+
+
+class TestLifecycleAndErrors:
+    def test_submit_requires_running_service(self, deck):
+        client = ServiceClient()
+        with pytest.raises(RuntimeError):
+            client.submit(
+                GenerationRequest(backend="rule", count=1, deck=deck)
+            )
+
+    def test_failing_backend_fails_only_its_request(self, deck):
+        from repro.engine import CandidateBatch, register_backend
+
+        class ExplodingBackend:
+            name = "test-exploding"
+
+            def __init__(self, deck=None):
+                self._deck = deck
+
+            @property
+            def deck(self):
+                return self._deck
+
+            def propose(self, request, rng):
+                raise RuntimeError("boom")
+
+        register_backend("test-exploding", ExplodingBackend, overwrite=True)
+        good = GenerationRequest(backend="rule", count=3, seed=0, deck=deck)
+        bad = GenerationRequest(backend="test-exploding", count=1, deck=deck)
+        with ServiceClient() as client:
+            bad_ticket = client.submit(bad)
+            good_ticket = client.submit(good)
+            with pytest.raises(RuntimeError, match="boom"):
+                bad_ticket.result()
+            assert good_ticket.result().legal_count == 3
+            assert client.service.stats.failed == 1
+            assert client.service.stats.completed == 1
+
+    def test_invalid_session_id_fails_at_submit(self, deck):
+        with ServiceClient() as client:
+            with pytest.raises(ValueError, match="session id"):
+                client.submit(
+                    GenerationRequest(backend="rule", count=1, deck=deck),
+                    session="../escape",
+                )
+
+    def test_close_is_idempotent(self, deck):
+        client = ServiceClient().start()
+        client.generate(GenerationRequest(backend="rule", count=2, deck=deck))
+        client.close()
+        client.close()
+
+    def test_stop_mid_gather_fails_dequeued_requests(self, deck):
+        # A request pulled into a (long) gather window when the service
+        # stops must resolve with an error, not hang forever.
+        config = ServiceConfig(
+            scheduler=SchedulerConfig(gather_window_s=30.0)
+        )
+        client = ServiceClient(config).start()
+        ticket = client.submit(
+            GenerationRequest(backend="rule", count=2, deck=deck)
+        )
+        import time
+
+        time.sleep(0.05)  # let the scheduler dequeue it into the window
+        client.close()
+        with pytest.raises(RuntimeError, match="stopped"):
+            ticket.result(timeout=10)
+
+    def test_coalesced_cache_counters_stay_per_request(self, deck):
+        # The shared micro-batch sweep's cache traffic is attributed by
+        # candidate share: no request reports the whole sweep's counters.
+        requests = _requests(deck, 4, count=6, base_seed=80)
+        config = ServiceConfig(
+            scheduler=SchedulerConfig(gather_window_s=0.05)
+        )
+        with ServiceClient(config) as client:
+            served = client.generate_many(requests)
+            assert client.service.stats.peak_coalesced > 1
+        for batch in served:
+            traffic = batch.cache_hits + batch.cache_misses
+            assert traffic <= len(batch.clips)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(queue_size=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(jobs=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(stream_chunk=0)
+
+
+class TestSessionPersistence:
+    def test_checkpoints_between_batches_and_at_shutdown(self, tmp_path, deck):
+        from repro.library import load_library
+
+        config = ServiceConfig(
+            sessions=SessionConfig(
+                library_shards=2,
+                snapshot_root=tmp_path,
+                checkpoint_every=2,
+            ),
+        )
+        requests = _requests(deck, 3, count=4, base_seed=60)
+        with ServiceClient(config) as client:
+            batches = client.generate_many(requests, session="tenant-a")
+            total = sum(b.admitted for b in batches)
+            # Two of the three merged batches crossed the interval.
+            assert client.service.sessions.get("tenant-a").checkpoints >= 1
+        # close() checkpoints once more: the snapshot holds everything.
+        store = load_library(tmp_path / "tenant-a")
+        assert len(store) == total
+        assert store.num_shards == 2
+
+    def test_restarted_service_resumes_from_snapshot(self, tmp_path, deck):
+        config = ServiceConfig(
+            sessions=SessionConfig(snapshot_root=tmp_path)
+        )
+        request = GenerationRequest(backend="rule", count=5, seed=3, deck=deck)
+        with ServiceClient(config) as client:
+            first = client.generate(request, session="t")
+        assert first.admitted > 0
+        # New service, same snapshot root: same seed is all duplicates.
+        twin = GenerationRequest(backend="rule", count=5, seed=3, deck=deck)
+        with ServiceClient(ServiceConfig(
+            sessions=SessionConfig(snapshot_root=tmp_path)
+        )) as client:
+            second = client.generate(twin, session="t")
+        assert second.admitted == 0

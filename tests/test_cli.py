@@ -19,6 +19,27 @@ class TestParser:
         assert parser.parse_args(["table1"]).command == "table1"
         assert parser.parse_args(["zoo", "list"]).action == "list"
 
+    def test_serve_command_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8157 and args.host == "127.0.0.1"
+        args = parser.parse_args([
+            "serve", "--port", "0", "--jobs", "4", "--max-batch", "16",
+            "--gather-window-ms", "5", "--session-dir", "snaps",
+            "--checkpoint-every", "3", "--library-shards", "2",
+        ])
+        assert args.jobs == 4
+        assert args.max_batch == 16
+        assert args.gather_window_ms == 5.0
+        assert args.session_dir == "snaps"
+        assert args.checkpoint_every == 3
+
+    def test_serve_checkpoint_needs_session_dir(self, capsys):
+        code = main(["serve", "--port", "0", "--checkpoint-every", "2"])
+        assert code == 2
+        assert "--session-dir" in capsys.readouterr().err
+
     def test_library_commands_parse(self):
         parser = build_parser()
         info = parser.parse_args(["library", "info", "d"])
