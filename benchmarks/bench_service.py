@@ -1,9 +1,9 @@
-"""Serving throughput: coalesced micro-batching vs one-request-at-a-time.
+"""Serving throughput: packed vs coalesced vs one-request-at-a-time.
 
 Simulates N concurrent clients, each submitting one seeded inpainting
-request against a small diffusion model, and serves the burst three ways:
+request against a small diffusion model, and serves the burst four ways:
 
-* **sequential** — today's one-shot path: a fresh backend per request via
+* **sequential** — the one-shot path: a fresh backend per request via
   :func:`repro.engine.run_generation`, requests served one after another.
   Like a CLI invocation (or a naive fork-per-request server), every
   request **rehydrates the model from its checkpoint** and builds its own
@@ -12,20 +12,29 @@ request against a small diffusion model, and serves the burst three ways:
   with micro-batching disabled (``max_batch_requests=1``): long-lived
   backend (model loaded once) and executor, but every request is its own
   scheduling cycle;
-* **coalesced** — the same service with the gather window open: compatible
-  requests coalesce into micro-batches sharing the warm backend, one
-  cached DRC sweep per batch and fewer scheduling cycles.
+* **coalesced** — the same service with the gather window open but
+  packing off (``pack_models=False``): PR 4's serving mode — compatible
+  requests coalesce into micro-batches sharing the warm backend and one
+  cached DRC sweep, but the model stage still samples one request at a
+  time;
+* **packed** — coalescing plus cross-request model-batch packing: the
+  micro-batch's sampling chunks interleave into shared full-width model
+  batches, so the burst walks **one** denoising loop instead of N.
 
-All three modes produce **bit-identical per-request outputs** (asserted):
-the model/denoise stages consume each request's own seeded rng stream, so
-serving mode changes wall-clock, never results.  The shared DRC stores
-are cleared before each mode so none inherits another's warm cache.
+All four modes produce **bit-identical per-request outputs** (asserted):
+the model/denoise stages consume each request's own seeded rng stream
+(per-chunk spawn under packing), so serving mode changes wall-clock,
+never results.  The shared DRC stores are cleared before each mode so
+none inherits another's warm cache.
 
-Acceptance target (ISSUE 4): coalesced micro-batching beats sequential
-per-request serving on multi-core hosts (single-core hosts skip the gate,
-like ``bench_sampler``; in practice the model-reuse win is large enough
-to clear it on one core too).  A ``BENCH_service.json`` artifact records
-throughput and p50/p95 latency per mode.  Runs standalone
+Acceptance targets: coalesced micro-batching beats sequential per-request
+serving (ISSUE 4), and packed serving reaches >= 1.3x coalesced
+throughput on the >= 8 small-concurrent-request burst (ISSUE 5).
+Single-core hosts skip whichever gate falls short, like
+``bench_sampler`` — though packing's win is python-overhead
+amortisation, so it typically clears the bar on one core too.  A
+``BENCH_service.json`` artifact records throughput, p50/p95 latency and
+packing counters per mode.  Runs standalone
 (``python benchmarks/bench_service.py``) or under pytest.
 """
 
@@ -53,16 +62,17 @@ from repro.engine import (
     register_backend,
     run_generation,
 )
-from repro.engine.modelpool import inpaint_jobs, publish_model
+from repro.engine.modelpool import inpaint_jobs, inpaint_jobs_packed, publish_model
+from repro.engine.packing import chunk_sizes
 from repro.experiments.common import format_table
 from repro.geometry import Grid
 from repro.nn import TimeUnet, UNetConfig
 from repro.nn.serialize import load_module_state
 from repro.service import SchedulerConfig, ServiceClient, ServiceConfig
 
-NUM_CLIENTS = 10
-COUNT = 3  # inpainting attempts per request
-NUM_STEPS = 4  # DDIM steps per attempt
+NUM_CLIENTS = 12
+COUNT = 1  # inpainting attempts per request: the many-small-requests regime
+NUM_STEPS = 8  # DDIM steps per attempt
 JOBS = max(1, min(4, os.cpu_count() or 1))
 RUNS = 2
 
@@ -89,10 +99,15 @@ class BenchInpaintBackend:
 
     Construction rehydrates the model from its checkpoint — the cost a
     per-request server pays every time, and the cost the service's
-    long-lived backend registry pays exactly once.
+    long-lived backend registry pays exactly once.  The backend is
+    pack-capable: ``propose`` consumes its rng through the per-chunk
+    spawn discipline (one child per ``MODEL_BATCH``-job chunk), which is
+    what lets the service pack chunks from different requests into
+    shared model batches bit-identically.
     """
 
     name = "bench-inpaint"
+    MODEL_BATCH = 32
 
     def __init__(self, deck=None):
         self._deck = deck if deck is not None else basic_deck(GRID)
@@ -102,6 +117,7 @@ class BenchInpaintBackend:
         self._model = TimeUnet(UNetConfig(**cfg))
         self._model.load_state_dict(state)
         self._schedule: NoiseSchedule = linear_schedule(TRAIN_STEPS)
+        self._config = InpaintConfig(num_steps=NUM_STEPS)
         template = np.zeros((UNET.image_size,) * 2, dtype=np.uint8)
         template[:, 2:5] = 1
         template[:, 9:12] = 1
@@ -114,14 +130,37 @@ class BenchInpaintBackend:
     def deck(self):
         return self._deck
 
-    def propose(self, request, rng):
+    def pack_jobs(self, request):
         templates = [self._template] * request.count
         masks = [self._mask] * request.count
+        return templates, masks
+
+    def pack_model_batch(self):
+        return self.MODEL_BATCH
+
+    def pack_model_fn(self):
+        def packed_fn(seg_templates, seg_masks, seg_rngs):
+            return inpaint_jobs_packed(
+                self._model, self._schedule, seg_templates, seg_masks,
+                seg_rngs, self._config,
+            )
+
+        return packed_fn
+
+    def propose(self, request, rng):
+        templates, masks = self.pack_jobs(request)
         t0 = time.perf_counter()
-        raws = inpaint_jobs(
-            self._model, self._schedule, templates, masks, rng,
-            InpaintConfig(num_steps=NUM_STEPS),
-        )
+        sizes = chunk_sizes(len(templates), self.MODEL_BATCH)
+        raws, offset = [], 0
+        for size, child in zip(sizes, rng.spawn(len(sizes))):
+            raws.extend(
+                inpaint_jobs(
+                    self._model, self._schedule,
+                    templates[offset:offset + size],
+                    masks[offset:offset + size], child, self._config,
+                )
+            )
+            offset += size
         return CandidateBatch(
             raws=raws,
             templates=templates,
@@ -154,7 +193,7 @@ def _sequential(requests):
     return time.perf_counter() - t0, latencies, results, None
 
 
-def _service(requests, *, coalesce: bool):
+def _service(requests, *, coalesce: bool, pack: bool = False):
     """N client threads against one service; per-client latencies."""
     scheduler = (
         SchedulerConfig(
@@ -164,7 +203,8 @@ def _service(requests, *, coalesce: bool):
         else SchedulerConfig(max_batch_requests=1, gather_window_s=0.0)
     )
     config = ServiceConfig(
-        jobs=JOBS, queue_size=NUM_CLIENTS * 2, scheduler=scheduler
+        jobs=JOBS, queue_size=NUM_CLIENTS * 2, pack_models=pack,
+        scheduler=scheduler,
     )
     latencies = [0.0] * len(requests)
     results = [None] * len(requests)
@@ -203,6 +243,7 @@ def run_bench():
         "sequential": lambda: _sequential(requests),
         "service-serial": lambda: _service(requests, coalesce=False),
         "coalesced": lambda: _service(requests, coalesce=True),
+        "packed": lambda: _service(requests, coalesce=True, pack=True),
     }
     walls: dict[str, float] = {}
     latencies: dict[str, list[float]] = {}
@@ -218,7 +259,7 @@ def run_bench():
         walls[name], latencies[name], outputs[name], stats[name] = best
 
     reference = outputs["sequential"]
-    for name in ("service-serial", "coalesced"):
+    for name in ("service-serial", "coalesced", "packed"):
         for got, want in zip(outputs[name], reference):
             assert got.attempts == want.attempts
             for a, b in zip(want.clips, got.clips):
@@ -231,6 +272,11 @@ def run_bench():
         "gather window never coalesced anything; the benchmark is not "
         "measuring micro-batching"
     )
+    assert stats["packed"].packed_jobs > 0, (
+        "packed mode never packed a model batch; the benchmark is not "
+        "measuring cross-request packing"
+    )
+    assert stats["packed"].packed_fallbacks == 0
     return walls, latencies, stats
 
 
@@ -260,6 +306,7 @@ def write_artifact(walls, latencies, stats) -> str:
     from repro.experiments.common import results_dir
 
     coalesced = stats["coalesced"]
+    packed = stats["packed"]
     payload = {
         "workload": {
             "clients": NUM_CLIENTS,
@@ -275,6 +322,16 @@ def write_artifact(walls, latencies, stats) -> str:
             "micro_batches": coalesced.micro_batches,
             "cycles": coalesced.cycles,
             "peak_coalesced": coalesced.peak_coalesced,
+        },
+        "packing": {
+            "packed_batches": packed.packed_batches,
+            "packed_jobs": packed.packed_jobs,
+            "packed_fallbacks": packed.packed_fallbacks,
+            "last_pack_fill": round(packed.last_pack_fill, 4),
+            "model_batch": BenchInpaintBackend.MODEL_BATCH,
+            "speedup_vs_coalesced": round(
+                walls["coalesced"] / walls["packed"], 3
+            ),
         },
         "summary": {
             mode: {
@@ -292,14 +349,20 @@ def write_artifact(walls, latencies, stats) -> str:
     return str(out)
 
 
+@pytest.fixture(scope="module")
+def bench_results():
+    walls, latencies, stats = run_bench()
+    path = write_artifact(walls, latencies, stats)
+    report(
+        "bench_service: serving modes",
+        render(walls, latencies) + f"\n[artifact: {path}]",
+    )
+    return walls, latencies, stats
+
+
 class TestServingThroughput:
-    def test_coalesced_micro_batching_beats_sequential(self):
-        walls, latencies, stats = run_bench()
-        path = write_artifact(walls, latencies, stats)
-        report(
-            "bench_service: serving modes",
-            render(walls, latencies) + f"\n[artifact: {path}]",
-        )
+    def test_coalesced_micro_batching_beats_sequential(self, bench_results):
+        walls, _, _ = bench_results
         if (os.cpu_count() or 1) < 2 and walls["coalesced"] > walls["sequential"]:
             # One core leaves no parallel slack between the service's
             # loop/worker threads and the executor pools; the acceptance
@@ -313,6 +376,28 @@ class TestServingThroughput:
             f"coalesced={walls['coalesced']:.3f}s "
             f"sequential={walls['sequential']:.3f}s: micro-batched serving "
             "must beat one-request-at-a-time serving"
+        )
+
+    def test_packed_serving_beats_coalesced(self, bench_results):
+        """ISSUE 5 gate: cross-request packing >= 1.3x PR 4 coalescing.
+
+        Bit-identity of the packed outputs is asserted unconditionally
+        inside ``run_bench``; the throughput ratio is gated on
+        multi-core hosts (the CI benchmark job) with the same
+        single-core escape hatch as the other gates.
+        """
+        walls, _, stats = bench_results
+        ratio = walls["coalesced"] / walls["packed"]
+        if (os.cpu_count() or 1) < 2 and ratio < 1.3:
+            pytest.skip(
+                f"single-core host: packed {ratio:.2f}x coalesced "
+                "(>= 1.3x gate enforced on the multi-core CI job)"
+            )
+        assert ratio >= 1.3, (
+            f"packed={walls['packed']:.3f}s coalesced="
+            f"{walls['coalesced']:.3f}s ({ratio:.2f}x): cross-request "
+            "model-batch packing must reach 1.3x coalesced throughput on "
+            f"{NUM_CLIENTS} small concurrent requests"
         )
 
 

@@ -108,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="MS",
                        help="how long to hold the window open for "
                             "co-arriving compatible requests")
+    serve.add_argument("--no-pack", action="store_true",
+                       help="disable cross-request model-batch packing "
+                            "(outputs are bit-identical either way; this "
+                            "is a benchmarking/debugging knob)")
     serve.add_argument("--library-shards", type=_positive_int, default=1,
                        metavar="N",
                        help="shard count for session library stores")
@@ -311,6 +315,7 @@ def _cmd_serve(args) -> int:
         model_jobs=(
             args.model_jobs if args.model_jobs is not None else args.jobs
         ),
+        pack_models=not args.no_pack,
         scheduler=SchedulerConfig(
             max_batch_requests=args.max_batch,
             gather_window_s=args.gather_window_ms / 1000.0,

@@ -260,28 +260,35 @@ class PatternPaint:
             model_fn, templates, masks, rng, spec=self._spec(len(templates))
         )
 
+    def model_spec(self) -> "InpaintModelSpec":
+        """The picklable model spec for process-pool sampling dispatch.
+
+        Publishing is content-addressed, so an unchanged model maps to
+        the same checkpoint file (written once, rehydrated once per
+        worker) while mutated weights automatically get a fresh one —
+        re-hashing the parameters each round (sub-MB at repro scale, a
+        few ms against seconds of sampling) buys that robustness without
+        a weight-version protocol.
+        """
+        return InpaintModelSpec(
+            checkpoint=publish_model(self.ddpm.model),
+            betas=np.ascontiguousarray(self.ddpm.schedule.betas).tobytes(),
+            config=self.config.inpaint,
+        )
+
     def _spec(self, num_jobs: int) -> "InpaintModelSpec | None":
-        """The picklable model spec for pooled sampling.
+        """:meth:`model_spec`, gated to when pooled fan-out can engage.
 
         Only built when the executor will actually fan the model stage
         out — ``model_jobs > 1`` *and* the batch spans more than one
-        model chunk.  Publishing is content-addressed, so an unchanged
-        model maps to the same checkpoint file (written once, rehydrated
-        once per worker) while mutated weights automatically get a fresh
-        one — re-hashing the parameters each round (sub-MB at repro
-        scale, a few ms against seconds of sampling) buys that
-        robustness without a weight-version protocol.
+        model chunk.
         """
         if self.config.model_jobs <= 1:
             return None
         chunks = -(-num_jobs // self.config.model_batch)
         if chunks <= 1:
             return None
-        return InpaintModelSpec(
-            checkpoint=publish_model(self.ddpm.model),
-            betas=np.ascontiguousarray(self.ddpm.schedule.betas).tobytes(),
-            config=self.config.inpaint,
-        )
+        return self.model_spec()
 
     def denoise_and_check(
         self,

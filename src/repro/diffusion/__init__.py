@@ -8,9 +8,14 @@ from .finetune import (
     generate_prior_set,
     self_refine,
 )
-from .inpaint import InpaintConfig, inpaint
+from .inpaint import InpaintConfig, inpaint, inpaint_packed
 from .plan import SamplerPlan, sampler_plan
-from .sampler import ddim_sample, ddpm_sample, strided_timesteps
+from .sampler import (
+    SegmentedGenerator,
+    ddim_sample,
+    ddpm_sample,
+    strided_timesteps,
+)
 from .schedule import NoiseSchedule, cosine_schedule, linear_schedule
 
 __all__ = [
@@ -19,6 +24,7 @@ __all__ = [
     "InpaintConfig",
     "NoiseSchedule",
     "SamplerPlan",
+    "SegmentedGenerator",
     "TrainResult",
     "clips_to_model_space",
     "clone_ddpm",
@@ -28,6 +34,7 @@ __all__ = [
     "finetune",
     "generate_prior_set",
     "inpaint",
+    "inpaint_packed",
     "linear_schedule",
     "model_space_to_clips",
     "sampler_plan",

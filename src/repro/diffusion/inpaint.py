@@ -19,9 +19,10 @@ import numpy as np
 
 from ..nn.unet import TimeUnet
 from .plan import sampler_plan
+from .sampler import SegmentedGenerator
 from .schedule import NoiseSchedule
 
-__all__ = ["InpaintConfig", "inpaint"]
+__all__ = ["InpaintConfig", "inpaint", "inpaint_packed"]
 
 
 @dataclass(frozen=True)
@@ -147,3 +148,41 @@ def inpaint(
                 ).astype(np.float32)
 
     return np.where(m, x, known).astype(np.float32)
+
+
+def inpaint_packed(
+    model: TimeUnet,
+    schedule: NoiseSchedule,
+    known: np.ndarray,
+    mask: np.ndarray,
+    rngs: "list[np.random.Generator]",
+    sizes: "list[int]",
+    config: InpaintConfig = InpaintConfig(),
+) -> np.ndarray:
+    """Inpaint several rng-independent segments as one packed batch.
+
+    ``known``/``mask`` hold the segments concatenated along axis 0;
+    segment *i* spans ``sizes[i]`` samples and draws all of its noise
+    from ``rngs[i]``.  The model forwards run over the whole packed
+    batch — amortising the per-step sampling overhead across segments —
+    while every noise draw is split per segment
+    (:class:`~repro.diffusion.sampler.SegmentedGenerator`), so each
+    segment's output is **bit-identical** to a standalone
+    :func:`inpaint` call over that segment with its own rng.  This is
+    the model stage of cross-request packing: a segment is one request's
+    sampling chunk with its spawned child generator.
+
+    All segments walk one shared coefficient plan, so they must agree on
+    ``config`` and ``schedule`` (the service guarantees this by packing
+    only within one compatibility key).
+    """
+    known = np.asarray(known, dtype=np.float32)
+    if known.ndim != 4:
+        raise ValueError(f"known must be (N, 1, H, W), got {known.shape}")
+    rng = SegmentedGenerator(rngs, sizes)
+    if rng.total != known.shape[0]:
+        raise ValueError(
+            f"segment sizes sum to {rng.total} but known holds "
+            f"{known.shape[0]} samples"
+        )
+    return inpaint(model, schedule, known, mask, rng, config)

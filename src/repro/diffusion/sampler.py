@@ -15,7 +15,58 @@ import numpy as np
 from ..nn.unet import TimeUnet
 from .schedule import NoiseSchedule
 
-__all__ = ["ddpm_sample", "ddim_sample", "strided_timesteps"]
+__all__ = [
+    "SegmentedGenerator",
+    "ddpm_sample",
+    "ddim_sample",
+    "strided_timesteps",
+]
+
+
+class SegmentedGenerator:
+    """Per-segment noise streams for a packed sampling batch.
+
+    Duck-types the one :class:`numpy.random.Generator` method the
+    samplers use — ``standard_normal`` — but splits every batch-shaped
+    draw along axis 0: segment *i* (``sizes[i]`` samples) gets its noise
+    from ``rngs[i]``, drawn with exactly the shape a standalone batch of
+    that segment would use.  Concatenating the per-segment draws means a
+    sampler running a packed batch consumes each segment's generator
+    precisely as it would running that segment alone — the property that
+    makes cross-request model-batch packing bit-identical to per-request
+    sampling (each segment being one request's chunk with its own
+    ``rng.spawn()`` child).
+    """
+
+    def __init__(self, rngs, sizes):
+        rngs, sizes = list(rngs), [int(n) for n in sizes]
+        if len(rngs) != len(sizes):
+            raise ValueError("rngs and sizes must pair up")
+        if any(n < 1 for n in sizes):
+            raise ValueError("every segment must hold at least one sample")
+        self._rngs = rngs
+        self._sizes = sizes
+        self._total = sum(sizes)
+
+    @property
+    def total(self) -> int:
+        """Summed sample count across segments (the packed batch size)."""
+        return self._total
+
+    def standard_normal(self, shape: tuple[int, ...]) -> np.ndarray:
+        """One batch-shaped draw, segment by segment along axis 0."""
+        if not shape or shape[0] != self._total:
+            raise ValueError(
+                f"packed draw shape {shape} does not match the "
+                f"{self._total} packed samples"
+            )
+        tail = tuple(shape[1:])
+        return np.concatenate(
+            [
+                rng.standard_normal((n, *tail))
+                for rng, n in zip(self._rngs, self._sizes)
+            ]
+        )
 
 
 @lru_cache(maxsize=256)

@@ -29,9 +29,11 @@ from .executor import (
     BatchExecutor,
     ExecutionPlan,
     ExecutorConfig,
+    PackedModelResult,
     PostprocessResult,
     run_generation,
 )
+from .packing import ChunkRef, PackedModelBatch, PackingPlan, pack_chunks
 from .registry import (
     GeneratorBackend,
     get_backend,
@@ -39,21 +41,33 @@ from .registry import (
     list_backends,
     register_backend,
 )
-from .request import CandidateBatch, GenerationBatch, GenerationRequest, StageTimings
+from .request import (
+    CandidateBatch,
+    GenerationBatch,
+    GenerationRequest,
+    StageTimings,
+    deck_key,
+)
 
 __all__ = [
     "BatchExecutor",
     "CandidateBatch",
+    "ChunkRef",
     "ExecutionPlan",
     "ExecutorConfig",
     "GenerationBatch",
     "GenerationRequest",
     "GeneratorBackend",
+    "PackedModelBatch",
+    "PackedModelResult",
+    "PackingPlan",
     "PostprocessResult",
     "StageTimings",
+    "deck_key",
     "get_backend",
     "is_registered",
     "list_backends",
+    "pack_chunks",
     "register_backend",
     "run_generation",
 ]

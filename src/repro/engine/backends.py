@@ -130,9 +130,19 @@ class PatternPaintBackend:
             )
         return self._starter_cache
 
-    def propose(
-        self, request: GenerationRequest, rng: np.random.Generator
-    ) -> CandidateBatch:
+    def pack_jobs(
+        self, request: GenerationRequest
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """The request's model-stage (template, mask) job lists.
+
+        The single definition of job enumeration — starter x mask x
+        variation, truncated to ``request.count`` — used by
+        :meth:`propose` and by the service's cross-request packed model
+        stage, so the two paths can never enumerate different jobs.
+        Building jobs consumes no rng, which is what lets the packed
+        path fall back to per-request sampling cleanly if packing is
+        not possible.
+        """
         pipeline = self.pipeline
         shape = pipeline.clip_shape
         if request.templates is not None:
@@ -146,8 +156,53 @@ class PatternPaintBackend:
 
         per_combo = max(1, -(-request.count // (len(templates) * len(masks))))
         jobs_t, jobs_m = pipeline.build_jobs(templates, masks, per_combo)
-        jobs_t, jobs_m = jobs_t[: request.count], jobs_m[: request.count]
-        raws, seconds = pipeline.inpaint_batch(jobs_t, jobs_m, rng)
+        return jobs_t[: request.count], jobs_m[: request.count]
+
+    def pack_model_batch(self) -> int:
+        """Chunk capacity the packed stage must mirror.
+
+        :meth:`propose` samples through the pipeline's executor, which
+        chunks jobs by ``PatternPaintConfig.model_batch`` and spawns one
+        rng child per chunk; the cross-request packed stage has to use
+        the same capacity for its chunking or its spawned children would
+        not line up with a serial run's.
+        """
+        return self._config.model_batch
+
+    def pack_model_fn(self):
+        """The packed-batch sampler for cross-request model packing.
+
+        Returns a callable with the
+        :meth:`~repro.engine.BatchExecutor.run_model_packed` ``packed_fn``
+        signature: per-chunk template/mask/rng segments in, per-chunk
+        output lists out, sampled as one batch through
+        :func:`~repro.engine.modelpool.inpaint_jobs_packed`.
+        """
+        from .modelpool import inpaint_jobs_packed
+
+        pipeline = self.pipeline
+
+        def packed_fn(seg_templates, seg_masks, seg_rngs):
+            return inpaint_jobs_packed(
+                pipeline.ddpm.model,
+                pipeline.ddpm.schedule,
+                seg_templates,
+                seg_masks,
+                seg_rngs,
+                pipeline.config.inpaint,
+            )
+
+        return packed_fn
+
+    def pack_spec(self):
+        """Picklable model spec for process-pool packed dispatch."""
+        return self.pipeline.model_spec()
+
+    def propose(
+        self, request: GenerationRequest, rng: np.random.Generator
+    ) -> CandidateBatch:
+        jobs_t, jobs_m = self.pack_jobs(request)
+        raws, seconds = self.pipeline.inpaint_batch(jobs_t, jobs_m, rng)
         return CandidateBatch(
             raws=raws,
             templates=jobs_t,

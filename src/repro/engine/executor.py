@@ -31,7 +31,12 @@ experiment harnesses.  The async service layer drives the same machinery
 through the **staged** API instead — :meth:`BatchExecutor.plan` /
 :meth:`~BatchExecutor.execute` / :meth:`~BatchExecutor.finalize` — which
 splits a run into resumable pieces an external scheduler can interleave
-across requests (e.g. one DRC sweep over a whole micro-batch).
+across requests (e.g. one DRC sweep over a whole micro-batch).  The
+scheduler may also replace per-request ``execute`` calls with
+:meth:`BatchExecutor.run_model_packed`, which interleaves several
+requests' sampling chunks into shared full-width model batches while
+spawning each chunk's rng from its own request — cross-request packing
+that is bit-identical, per request, to the serial path.
 """
 
 from __future__ import annotations
@@ -50,7 +55,12 @@ from ..core.template_denoise import TemplateDenoiseConfig, template_denoise
 from ..drc.engine import DrcEngine
 from ..geometry.raster import validate_clip
 from ..library import LibraryStore, compute_delta
-from .modelpool import InpaintModelSpec, run_inpaint_chunk
+from .modelpool import (
+    InpaintModelSpec,
+    run_inpaint_chunk,
+    run_inpaint_packed_batch,
+)
+from .packing import PackingPlan, chunk_sizes, pack_chunks
 from .registry import GeneratorBackend, get_backend
 from .request import (
     CandidateBatch,
@@ -62,6 +72,7 @@ from .request import (
 __all__ = [
     "ExecutorConfig",
     "ExecutionPlan",
+    "PackedModelResult",
     "PostprocessResult",
     "BatchExecutor",
     "run_generation",
@@ -129,6 +140,23 @@ class ExecutorConfig:
             raise ValueError("model_jobs must be positive")
         if self.pool not in ("thread", "process"):
             raise ValueError("pool must be 'thread' or 'process'")
+
+
+@dataclass
+class PackedModelResult:
+    """Outcome of one cross-request packed model stage.
+
+    ``outputs[r]`` is request *r*'s raw model outputs in job order —
+    bit-identical to what :meth:`BatchExecutor.run_model_batched` would
+    have produced for that request alone.  ``seconds[r]`` is the
+    wall-clock sampler time attributed to the request (each packed
+    batch's time split by job share).  ``plan`` is the packing that ran,
+    whose ``fill_ratio`` the service exports as a gauge.
+    """
+
+    outputs: list[list[np.ndarray]]
+    seconds: list[float]
+    plan: PackingPlan
 
 
 @dataclass
@@ -314,6 +342,138 @@ class BatchExecutor:
             outputs.extend(model_fn(templates[lo:hi], masks[lo:hi], child))
             seconds += time.perf_counter() - t0
         return outputs, seconds
+
+    def run_model_packed(
+        self,
+        packed_fn: Callable[
+            [
+                list[list[np.ndarray]],
+                list[list[np.ndarray]],
+                list[np.random.Generator],
+            ],
+            list[list[np.ndarray]],
+        ],
+        job_lists: Sequence[tuple[list[np.ndarray], list[np.ndarray]]],
+        rngs: Sequence[np.random.Generator],
+        *,
+        packing: PackingPlan | None = None,
+        spec: InpaintModelSpec | None = None,
+    ) -> PackedModelResult:
+        """Run several requests' model stages as shared packed batches.
+
+        ``job_lists[r]`` is request *r*'s (templates, masks) job pair and
+        ``rngs[r]`` its root generator.  Each request is chunked exactly
+        like :meth:`run_model_batched` (``model_batch`` jobs per chunk)
+        and its rng spawned into per-chunk children in chunk order, so
+        every generator is consumed precisely as the serial path consumes
+        it; the chunks are then interleaved across requests into
+        full-width packed batches — ``packing`` (a scheduler-emitted
+        :class:`~repro.engine.packing.PackingPlan`, validated here
+        against the actual job counts) or a first-fit plan computed on
+        the spot.  ``packed_fn`` samples one packed batch: it receives
+        per-chunk template/mask/rng segments and returns per-chunk output
+        lists (see :func:`~repro.engine.modelpool.inpaint_jobs_packed`).
+
+        Per-request outputs are reassembled in chunk order and are
+        bit-identical to that request's serial ``run_model_batched`` run:
+        packing changes which forwards execute together, never which
+        random numbers a request sees.  With ``model_jobs > 1``, a
+        picklable ``spec`` and more than one packed batch, batches fan
+        out over the persistent process pool
+        (:func:`~repro.engine.modelpool.run_inpaint_packed_batch`).
+        """
+        job_lists = list(job_lists)
+        rngs = list(rngs)
+        if len(job_lists) != len(rngs):
+            raise ValueError("job_lists and rngs must pair up")
+        counts = []
+        for templates, masks in job_lists:
+            if len(templates) != len(masks):
+                raise ValueError("templates and masks must pair up")
+            counts.append(len(templates))
+        if packing is None:
+            packing = pack_chunks(counts, self.config.model_batch)
+        # The plan's capacity is the chunking unit: it must equal the
+        # chunk size the requests' serial model stage uses (the service
+        # asks the backend via ``pack_model_batch``), or the spawned
+        # children would not line up with a serial run's.
+        batch = packing.capacity
+        # Spawn per-chunk children request by request, in chunk order —
+        # the serial consumption discipline (an empty job list spawns
+        # nothing, exactly like run_model_batched's early return).
+        children: dict[tuple[int, int], np.random.Generator] = {}
+        slices: dict[tuple[int, int], tuple[int, int]] = {}
+        for entry, count in enumerate(counts):
+            sizes = chunk_sizes(count, batch)
+            if sizes:
+                for chunk, child in enumerate(rngs[entry].spawn(len(sizes))):
+                    children[(entry, chunk)] = child
+                    lo = chunk * batch
+                    slices[(entry, chunk)] = (lo, lo + sizes[chunk])
+        planned = {
+            (ref.entry, ref.chunk): ref.jobs
+            for packed in packing.batches
+            for ref in packed.chunks
+        }
+        expected = {key: hi - lo for key, (lo, hi) in slices.items()}
+        if planned != expected or packing.num_chunks != len(expected):
+            raise ValueError(
+                "packing plan does not cover the submitted job lists "
+                "(every chunk exactly once, with matching job counts)"
+            )
+
+        chunk_outputs: dict[tuple[int, int], list[np.ndarray]] = {}
+        seconds = [0.0] * len(job_lists)
+
+        def segments(packed):
+            seg_t, seg_m, seg_rngs = [], [], []
+            for ref in packed.chunks:
+                lo, hi = slices[(ref.entry, ref.chunk)]
+                templates, masks = job_lists[ref.entry]
+                seg_t.append(templates[lo:hi])
+                seg_m.append(masks[lo:hi])
+                seg_rngs.append(children[(ref.entry, ref.chunk)])
+            return seg_t, seg_m, seg_rngs
+
+        def record(packed, outs, elapsed):
+            total = max(packed.jobs, 1)
+            for ref, out in zip(packed.chunks, outs):
+                chunk_outputs[(ref.entry, ref.chunk)] = list(out)
+                seconds[ref.entry] += elapsed * (ref.jobs / total)
+
+        jobs = min(self.config.model_jobs, len(packing.batches))
+        if spec is not None and jobs > 1:
+            with self._leased_pool("process", jobs) as pool:
+                t0 = time.perf_counter()
+                futures = [
+                    pool.submit(run_inpaint_packed_batch, spec, *segments(p))
+                    for p in packing.batches
+                ]
+                results = [future.result() for future in futures]
+                elapsed = time.perf_counter() - t0
+                # Pooled batches overlap in time; attribute the shared
+                # wall clock to each batch by its job share.
+                for packed, outs in zip(packing.batches, results):
+                    record(
+                        packed,
+                        outs,
+                        elapsed * (packed.jobs / max(packing.packed_jobs, 1)),
+                    )
+        else:
+            for packed in packing.batches:
+                t0 = time.perf_counter()
+                outs = packed_fn(*segments(packed))
+                record(packed, outs, time.perf_counter() - t0)
+
+        outputs: list[list[np.ndarray]] = []
+        for entry, count in enumerate(counts):
+            merged: list[np.ndarray] = []
+            for chunk in range(len(chunk_sizes(count, batch))):
+                merged.extend(chunk_outputs[(entry, chunk)])
+            outputs.append(merged)
+        return PackedModelResult(
+            outputs=outputs, seconds=seconds, plan=packing
+        )
 
     def denoise_batch(
         self,
@@ -561,12 +721,22 @@ class BatchExecutor:
         rng: np.random.Generator | None = None,
         library: LibraryStore | None = None,
     ) -> GenerationBatch:
-        """Propose candidates with the request's backend and post-process.
+        """Serve one request end to end through the staged pipeline.
 
-        Pass ``library`` to admit into an existing store (e.g. one loaded
-        from a snapshot, for cross-run dedup); by default each run gets a
-        fresh single-shard store.  ``batch.admitted`` counts only clips
-        admitted by *this* run, whatever the store held before.
+        A thin composition of the staged API — :meth:`plan` (resolve the
+        backend, seed the root rng, pick the destination store),
+        :meth:`execute` (the model stage) and :meth:`finalize` (denoise
+        -> DRC -> admit, which builds the result via :meth:`assemble`).
+        External schedulers drive those same stages separately to
+        interleave work across requests (one DRC sweep per micro-batch,
+        cross-request packed model batches); both paths are
+        bit-identical for the same request and rng.
+
+        Pass ``library`` to admit into an existing store (e.g. one
+        loaded from a snapshot, for cross-run dedup); by default each
+        run gets a fresh single-shard store.  ``batch.admitted`` counts
+        only clips admitted by *this* run, whatever the store held
+        before.
         """
         staged = self.plan(request, backend=backend, rng=rng, library=library)
         self.execute(staged)

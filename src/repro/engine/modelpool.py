@@ -24,13 +24,20 @@ from pathlib import Path
 import numpy as np
 
 from ..diffusion.ddpm import clips_to_model_space
-from ..diffusion.inpaint import InpaintConfig, inpaint
+from ..diffusion.inpaint import InpaintConfig, inpaint, inpaint_packed
 from ..diffusion.schedule import NoiseSchedule
 from ..nn.serialize import load_module_state, save_module
 from ..nn.tensor import inference_mode
 from ..nn.unet import TimeUnet, UNetConfig
 
-__all__ = ["InpaintModelSpec", "inpaint_jobs", "publish_model", "run_inpaint_chunk"]
+__all__ = [
+    "InpaintModelSpec",
+    "inpaint_jobs",
+    "inpaint_jobs_packed",
+    "publish_model",
+    "run_inpaint_chunk",
+    "run_inpaint_packed_batch",
+]
 
 
 def inpaint_jobs(
@@ -53,6 +60,56 @@ def inpaint_jobs(
     with inference_mode(model):
         x = inpaint(model, schedule, known, mask_arr, rng, config)
     return list(x[:, 0])
+
+
+def inpaint_jobs_packed(
+    model: TimeUnet,
+    schedule: NoiseSchedule,
+    seg_templates: list[list[np.ndarray]],
+    seg_masks: list[list[np.ndarray]],
+    seg_rngs: list[np.random.Generator],
+    config: InpaintConfig,
+) -> list[list[np.ndarray]]:
+    """Inpaint several requests' chunks as **one** packed model batch.
+
+    Each segment is one request's sampling chunk: its (template, mask)
+    jobs plus the chunk's own spawned rng child.  The segments run
+    through a single :func:`~repro.diffusion.inpaint.inpaint_packed`
+    call — one denoising loop, full-width model forwards — with noise
+    drawn per segment, so every returned segment is bit-identical to
+    running :func:`inpaint_jobs` on it alone with the same rng.
+
+    Returns the per-segment output lists, in segment order.
+    """
+    if not (len(seg_templates) == len(seg_masks) == len(seg_rngs)):
+        raise ValueError("segment templates, masks and rngs must pair up")
+    sizes = []
+    for templates, masks in zip(seg_templates, seg_masks):
+        if len(templates) != len(masks):
+            raise ValueError("templates and masks must pair up per segment")
+        sizes.append(len(templates))
+    # Per-segment model-space conversion and mask stacking are
+    # elementwise, so converting before or after concatenation is
+    # bit-identical; converting per segment mirrors the serial prelude.
+    known = np.concatenate(
+        [clips_to_model_space(templates) for templates in seg_templates]
+    )
+    mask_arr = np.concatenate(
+        [
+            np.stack([np.asarray(m, dtype=bool) for m in masks])[:, None]
+            for masks in seg_masks
+        ]
+    )
+    with inference_mode(model):
+        x = inpaint_packed(
+            model, schedule, known, mask_arr, seg_rngs, sizes, config
+        )
+    out: list[list[np.ndarray]] = []
+    offset = 0
+    for n in sizes:
+        out.append(list(x[offset:offset + n, 0]))
+        offset += n
+    return out
 
 
 @dataclass(frozen=True)
@@ -166,5 +223,29 @@ def run_inpaint_chunk(
         templates,
         masks,
         rng,
+        spec.config,
+    )
+
+
+def run_inpaint_packed_batch(
+    spec: InpaintModelSpec,
+    seg_templates: list[list[np.ndarray]],
+    seg_masks: list[list[np.ndarray]],
+    seg_rngs: list[np.random.Generator],
+) -> list[list[np.ndarray]]:
+    """Worker entry point for one *packed* model batch.
+
+    Same rehydration discipline as :func:`run_inpaint_chunk`, but the
+    unit of work is a packed batch of several requests' chunks, sampled
+    together through :func:`inpaint_jobs_packed` with per-chunk rng
+    streams — so process-pool packed dispatch stays bit-identical to the
+    in-process packed (and serial per-request) paths.
+    """
+    return inpaint_jobs_packed(
+        _rehydrate_model(spec.checkpoint),
+        _rehydrate_schedule(spec.betas),
+        seg_templates,
+        seg_masks,
+        seg_rngs,
         spec.config,
     )

@@ -32,7 +32,25 @@ __all__ = [
     "CandidateBatch",
     "StageTimings",
     "GenerationBatch",
+    "deck_key",
 ]
+
+
+def deck_key(deck: "RuleDeck | None") -> tuple | None:
+    """Hashable identity of a rule deck: geometry *and* rule content.
+
+    The single definition of deck equality used by
+    :meth:`GenerationRequest.compatibility_key` and by the service's
+    per-deck executor map — two decks that merely share a name can never
+    trade DRC verdicts or warm executors.
+    """
+    if deck is None:
+        return None
+    grid = deck.grid
+    return (
+        deck.name, grid.nm_per_px, grid.width_px, grid.height_px,
+        repr(deck.rules),
+    )
 
 
 @dataclass(frozen=True)
@@ -44,11 +62,21 @@ class GenerationRequest:
     ``templates``/``masks`` seed inpainting-style backends and are ignored
     by the others; ``params`` carries backend-specific knobs.
 
-    ``request_id`` identifies the request across the service layer (a
-    fresh id is generated when not supplied) and ``priority`` orders
-    micro-batches in the scheduler (higher runs first); neither affects
+    Three fields exist for the service layer.  ``request_id`` uniquely
+    identifies the request end to end — queue entries and streamed wire
+    events key on it (a fresh id is generated when not supplied); inside
+    a packed model stage, chunks are attributed by the request's
+    *position* in its micro-batch plus the chunk index, with every rng
+    child spawned from the request's own seeded stream.  ``priority``
+    orders whole micro-batches
+    in the scheduler: higher runs first, ties keep arrival order, and
+    priority never reorders requests *inside* a batch.  Neither affects
     the generated patterns, which depend only on the seed and the
-    generation parameters.
+    generation parameters.  :meth:`compatibility_key` is the coalescing
+    and packing boundary: only requests with equal keys (same backend,
+    deck geometry *and* rule content, clip shape, params) may share a
+    micro-batch, a DRC sweep, or a packed model batch — requests that
+    differ in any of those can never be served by one model invocation.
 
     Validation happens at construction: a non-positive ``count`` or a
     backend name that is not in the registry raises ``ValueError`` here,
@@ -114,18 +142,10 @@ class GenerationRequest:
         Seed, count, priority and id deliberately do not participate:
         those vary per client.
         """
-        deck = self.deck
-        deck_key = None
-        if deck is not None:
-            grid = deck.grid
-            deck_key = (
-                deck.name, grid.nm_per_px, grid.width_px, grid.height_px,
-                repr(deck.rules),
-            )
         params_key = tuple(
             sorted((str(k), repr(v)) for k, v in self.params.items())
         )
-        return (self.backend, deck_key, self.clip_shape, params_key)
+        return (self.backend, deck_key(self.deck), self.clip_shape, params_key)
 
 
 @dataclass

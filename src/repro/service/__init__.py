@@ -10,7 +10,8 @@ machinery in a long-lived asyncio service:
   snapshot checkpoints;
 * :class:`MicroBatchScheduler` / :class:`SchedulerConfig` — the pure
   coalescing rules (group by compatibility key, arrival order inside a
-  batch, priority across batches);
+  batch, priority across batches) plus the cross-request model-batch
+  packing plan (:meth:`MicroBatchScheduler.pack`);
 * :class:`SessionManager` / :class:`SessionConfig` — shared or per-tenant
   stores, snapshot-loaded and checkpointed via :mod:`repro.library`;
 * :class:`ServiceClient` — the blocking in-process client used by tests
@@ -32,8 +33,10 @@ Typical in-process use::
 
 Every served request is bit-identical to a serial ``run_generation`` of
 the same request: the model and denoise stages consume the request's own
-seeded rng stream, and only the content-keyed DRC sweep is shared across
-a micro-batch.
+seeded rng stream (per-chunk spawns when several requests' chunks pack
+into one shared model batch), and the content-keyed DRC sweep is shared
+across a micro-batch.  ``docs/SERVING.md`` documents the wire protocol
+and telemetry; ``docs/ARCHITECTURE.md`` the determinism contract.
 """
 
 from .client import ClientTicket, ServiceClient

@@ -19,6 +19,15 @@ Ordering rules:
   ``max_batch_attempts`` summed attempt counts, so one large client
   cannot stretch a micro-batch (and every co-batched client's latency)
   without bound.
+
+Beyond grouping, the scheduler also emits the **model-batch packing
+plan** for a micro-batch (:meth:`MicroBatchScheduler.pack`): the
+requests' sampling chunks — the unit of per-request rng spawning —
+interleaved first-fit into shared, full-width model batches.  Requests
+in one micro-batch share a compatibility key by construction, which is
+exactly the precondition for their chunks to share a model invocation;
+the executor validates the plan against the real job lists before
+running it (:meth:`repro.engine.BatchExecutor.run_model_packed`).
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from ..engine import GenerationRequest
+from ..engine import GenerationRequest, PackingPlan, pack_chunks
 
 __all__ = ["SchedulerConfig", "PendingRequest", "MicroBatch", "MicroBatchScheduler"]
 
@@ -126,3 +135,21 @@ class MicroBatchScheduler:
             key=lambda b: (-b.priority, min(e.arrival for e in b.entries))
         )
         return batches
+
+    def pack(
+        self, counts: Sequence[int], model_batch: int
+    ) -> PackingPlan:
+        """Emit the cross-request packing plan for one micro-batch.
+
+        ``counts`` is the per-request model-stage job count in entry
+        order (for the built-in inpainting backends this is
+        ``request.count``).  Each request is split into sampling chunks
+        exactly as the serial model stage would
+        (``model_batch``-job chunks; the chunk is the rng-spawn unit,
+        keyed by its request and chunk index), and the chunks are packed
+        first-fit into shared model batches of at most ``model_batch``
+        total jobs.  Pure and deterministic — grouping compatible
+        requests is :meth:`coalesce`'s job, deciding which of their
+        chunks sample together is this one's.
+        """
+        return pack_chunks(counts, model_batch)

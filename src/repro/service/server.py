@@ -144,7 +144,14 @@ async def handle_connection(
                         "cycles": stats.cycles,
                         "micro_batches": stats.micro_batches,
                         "peak_coalesced": stats.peak_coalesced,
+                        # Live queue occupancy now; the stats gauge holds
+                        # the depth at the latest cycle dispatch.
                         "queue_depth": service.queue_depth,
+                        "queue_depth_at_cycle": stats.queue_depth,
+                        "packed_batches": stats.packed_batches,
+                        "packed_jobs": stats.packed_jobs,
+                        "packed_fallbacks": stats.packed_fallbacks,
+                        "pack_fill": round(stats.last_pack_fill, 4),
                     })
                     continue
                 if op is not None:

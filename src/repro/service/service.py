@@ -10,9 +10,11 @@
 * **cross-client micro-batching** — a gather window collects co-arriving
   requests, and the :class:`~repro.service.scheduler.MicroBatchScheduler`
   coalesces compatible ones (same backend/deck/shape) into micro-batches
-  served by one warm backend instance and executor: the model stage runs
-  per request (each request's own seeded rng stream — outputs stay
-  bit-identical to a serial ``run_generation``), while the DRC stage runs
+  served by one warm backend instance and executor: with a pack-capable
+  backend the model stage samples **chunks from different requests as
+  shared full-width model batches** (the scheduler's packing plan;
+  per-chunk rng spawned from each request's own stream, so outputs stay
+  bit-identical to a serial ``run_generation``), and the DRC stage runs
   as **one** cached sweep over the whole micro-batch;
 * **streaming results** — each request's proposal is streamed back as
   :class:`~repro.engine.CandidateBatch` chunks, followed by the final
@@ -49,6 +51,7 @@ from ..engine import (
     GenerationRequest,
     GeneratorBackend,
     StageTimings,
+    deck_key,
     get_backend,
 )
 from .scheduler import MicroBatch, MicroBatchScheduler, PendingRequest, SchedulerConfig
@@ -86,7 +89,12 @@ class ServiceConfig:
     executors exactly like :func:`repro.engine.run_generation`'s
     parameters, so a service-served request is bit-identical to a serial
     one.  ``stream_chunk`` is the number of candidates per streamed
-    :class:`~repro.engine.CandidateBatch` chunk.
+    :class:`~repro.engine.CandidateBatch` chunk.  ``pack_models``
+    enables cross-request model-batch packing for micro-batches whose
+    backend supports it (``pack_jobs``/``pack_model_fn``); packing only
+    changes which forwards sample together — per-request outputs are
+    bit-identical either way — so disabling it is purely a
+    benchmarking/debugging knob.
     """
 
     queue_size: int = 64
@@ -94,6 +102,7 @@ class ServiceConfig:
     pool: str = "thread"
     model_jobs: int = 1
     stream_chunk: int = 32
+    pack_models: bool = True
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     sessions: SessionConfig = field(default_factory=SessionConfig)
 
@@ -108,7 +117,18 @@ class ServiceConfig:
 
 @dataclass
 class ServiceStats:
-    """Lifetime counters (read-mostly; mutated on the worker thread)."""
+    """Lifetime counters plus two gauges.
+
+    Counters are cumulative and read-mostly (mutated on the worker
+    thread, except ``submitted`` on the loop thread).  The two gauges
+    describe the *current* state rather than history: ``queue_depth`` is
+    the requests still waiting when the latest cycle was dispatched, and
+    ``last_pack_fill`` is the packed-model-batch fill ratio of the
+    latest cycle (packed jobs / packed slots; 0.0 when the cycle packed
+    nothing).  Both are exported over the wire by the ``op: "stats"``
+    verb (see ``docs/SERVING.md``) so a load balancer can see saturation
+    and packing efficiency without scraping logs.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -117,6 +137,11 @@ class ServiceStats:
     micro_batches: int = 0
     peak_coalesced: int = 0  # most requests ever served by one micro-batch
     checkpoints: int = 0
+    packed_batches: int = 0  # shared model batches dispatched
+    packed_jobs: int = 0  # sampling jobs served through packed batches
+    packed_fallbacks: int = 0  # packed stages that fell back to per-request
+    last_pack_fill: float = 0.0  # gauge: latest cycle's packed fill ratio
+    queue_depth: int = 0  # gauge: queued requests at latest cycle dispatch
 
 
 class ResultStream:
@@ -240,6 +265,10 @@ class GenerationService:
         self._worker: ThreadPoolExecutor | None = None
         self._submit_lock: asyncio.Lock | None = None
         self._arrival = 0
+        # Per-cycle packing tallies (worker thread only) feeding the
+        # ``last_pack_fill`` gauge.
+        self._cycle_packed_jobs = 0
+        self._cycle_packed_slots = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -398,7 +427,23 @@ class GenerationService:
                 for pending in batch:
                     self._fail_pending(pending)
                 raise
-            micro_batches = self.scheduler.coalesce(batch)
+            # compatibility_key() evaluates user-supplied fields (deck,
+            # params reprs); a poisoned request must fail alone — not
+            # its co-arriving neighbours, and never the scheduler loop.
+            healthy = []
+            for pending in batch:
+                try:
+                    pending.request.compatibility_key()
+                except Exception as error:  # noqa: BLE001 - bad fields
+                    if not pending.stream.done:
+                        self.stats.failed += 1
+                    pending.stream._deliver_error(error)
+                else:
+                    healthy.append(pending)
+            micro_batches = self.scheduler.coalesce(healthy)
+            # Queue-depth gauge: what is still waiting now that this
+            # cycle's requests have been pulled off the queue.
+            self.stats.queue_depth = self._queue.qsize()
             # Once handed to the worker, a cancellation here no longer
             # strands anything: the cycle runs to completion during
             # stop()'s worker shutdown and resolves every stream.
@@ -413,23 +458,37 @@ class GenerationService:
         self._loop.call_soon_threadsafe(method.__get__(stream), payload)
 
     def _backend_for(self, request: GenerationRequest) -> GeneratorBackend:
-        name, deck_key, _, _ = request.compatibility_key()
-        key = (name, deck_key)
+        name, request_deck_key, _, _ = request.compatibility_key()
+        key = (name, request_deck_key)
         with self._state_lock:
             backend = self._backends.get(key)
         if backend is None:
             kwargs = {"deck": request.deck} if request.deck is not None else {}
-            backend = self._backend_factory(name, **kwargs)
+            cfg = self.config
+            backend = None
+            if cfg.jobs > 1 or cfg.model_jobs > 1:
+                # Backends that run their own executor for the serial
+                # model stage (e.g. PatternPaintBackend's pipeline)
+                # accept jobs/model_jobs; forward the service's worker
+                # config so a 1-request micro-batch samples with the
+                # same parallelism as everything else.  Worker counts
+                # never change seeded outputs (rng.spawn discipline),
+                # so this is purely a throughput knob.
+                try:
+                    backend = self._backend_factory(
+                        name, **kwargs, jobs=cfg.jobs,
+                        model_jobs=cfg.model_jobs,
+                    )
+                except TypeError:
+                    backend = None  # factory without tuning kwargs
+            if backend is None:
+                backend = self._backend_factory(name, **kwargs)
             with self._state_lock:
                 backend = self._backends.setdefault(key, backend)
         return backend
 
     def _executor_for(self, deck) -> BatchExecutor:
-        grid = deck.grid
-        key = (
-            deck.name, grid.nm_per_px, grid.width_px, grid.height_px,
-            repr(deck.rules),
-        )
+        key = deck_key(deck)
         with self._state_lock:
             executor = self._executors.get(key)
             if executor is None:
@@ -446,18 +505,26 @@ class GenerationService:
     def _run_cycle(self, micro_batches: list[MicroBatch]) -> None:
         """Serve one gather window's micro-batches (blocking).
 
-        Stages: per request — propose (model stage, the request's own rng
-        stream) then denoise; per micro-batch — one cached DRC sweep over
-        every candidate; then admissions for the whole cycle in global
-        arrival order, so session stores grow deterministically no matter
-        how requests were grouped.
+        Stages: per micro-batch — the model stage (packed across requests
+        when the backend supports it, else per request; either way every
+        request's own rng stream) then per-request denoise and one cached
+        DRC sweep over every candidate; then admissions for the whole
+        cycle in global arrival order, so session stores grow
+        deterministically no matter how requests were grouped.
         """
         self.stats.cycles += 1
+        self._cycle_packed_jobs = 0
+        self._cycle_packed_slots = 0
         ready: list[tuple] = []
         for micro in micro_batches:
             self.stats.micro_batches += 1
             self.stats.peak_coalesced = max(self.stats.peak_coalesced, len(micro))
             ready.extend(self._run_micro_batch(micro))
+        self.stats.last_pack_fill = (
+            self._cycle_packed_jobs / self._cycle_packed_slots
+            if self._cycle_packed_slots
+            else 0.0
+        )
 
         # Admission stage: strict arrival order across the whole cycle.
         ready.sort(key=lambda item: item[0].arrival)
@@ -481,9 +548,82 @@ class GenerationService:
                 self.stats.failed += 1
                 self._publish(pending.stream, ResultStream._deliver_error, error)
 
+    def _packed_model_stage(self, executor, prepared):
+        """Sample the micro-batch's model stages as shared packed batches.
+
+        Returns ``True`` after setting every prepared plan's
+        ``proposal``/``generate_seconds``, or ``False`` to fall back to
+        per-request execution — packing disabled, fewer than two
+        requests, a backend without the ``pack_jobs``/``pack_model_fn``
+        hooks, or a packed-stage failure (counted in
+        ``stats.packed_fallbacks``; every plan's root rng is re-seeded
+        first, so the per-request fallback remains bit-identical to a
+        serial run even if the packed stage had already consumed
+        spawns).
+        """
+        if not self.config.pack_models or len(prepared) < 2:
+            return False
+        backend = prepared[0][1].backend
+        pack_jobs = getattr(backend, "pack_jobs", None)
+        pack_model_fn = getattr(backend, "pack_model_fn", None)
+        if pack_jobs is None or pack_model_fn is None:
+            return False
+        cfg = executor.config
+        # Chunk capacity must mirror the backend's serial model stage
+        # (its propose-side rng spawn discipline), not this executor's.
+        pack_model_batch = getattr(backend, "pack_model_batch", None)
+        capacity = (
+            pack_model_batch() if pack_model_batch is not None
+            else cfg.model_batch
+        )
+        try:
+            job_lists = [pack_jobs(plan.request) for _, plan in prepared]
+            packing = self.scheduler.pack(
+                [len(templates) for templates, _ in job_lists],
+                capacity,
+            )
+            spec = None
+            pack_spec = getattr(backend, "pack_spec", None)
+            if (
+                pack_spec is not None
+                and cfg.model_jobs > 1
+                and len(packing.batches) > 1
+            ):
+                spec = pack_spec()
+            result = executor.run_model_packed(
+                pack_model_fn(),
+                job_lists,
+                [plan.rng for _, plan in prepared],
+                packing=packing,
+                spec=spec,
+            )
+        except Exception:  # noqa: BLE001 - packed stage is best-effort
+            for _, plan in prepared:
+                plan.rng = plan.request.rng()
+            self.stats.packed_fallbacks += 1
+            return False
+        for (pending, plan), (templates, _), raws, seconds in zip(
+            prepared, job_lists, result.outputs, result.seconds
+        ):
+            plan.proposal = CandidateBatch(
+                raws=raws,
+                templates=list(templates),
+                attempts=len(templates),
+                generate_seconds=seconds,
+            )
+            plan.generate_seconds = seconds
+        self.stats.packed_batches += len(result.plan.batches)
+        self.stats.packed_jobs += result.plan.packed_jobs
+        self._cycle_packed_jobs += result.plan.packed_jobs
+        self._cycle_packed_slots += result.plan.capacity * len(
+            result.plan.batches
+        )
+        return True
+
     def _run_micro_batch(self, micro: MicroBatch):
-        """Propose + denoise each request, then one DRC sweep; no admission."""
-        staged: list[tuple[PendingRequest, ExecutionPlan, list[np.ndarray], float]] = []
+        """Model stage (packed when possible) + denoise per request, then
+        one DRC sweep; no admission."""
+        prepared: list[tuple[PendingRequest, ExecutionPlan]] = []
         executor = None
         for pending in micro.entries:
             request = pending.request
@@ -495,7 +635,25 @@ class GenerationService:
                 if pending.session_id is not None:
                     library = self.sessions.get(pending.session_id).store
                 plan = executor.plan(request, backend=backend, library=library)
-                proposal = executor.execute(plan)
+                prepared.append((pending, plan))
+            except Exception as error:  # noqa: BLE001 - surfaced per request
+                self.stats.failed += 1
+                self._publish(pending.stream, ResultStream._deliver_error, error)
+        if not prepared:
+            return []
+
+        # Cross-request packed model stage: one micro-batch shares a
+        # compatibility key, so its requests' sampling chunks may share
+        # full-width model batches (per-chunk rng spawned from each
+        # request's own stream keeps outputs bit-identical to serial).
+        packed = self._packed_model_stage(executor, prepared)
+
+        staged: list[tuple[PendingRequest, ExecutionPlan, list[np.ndarray], float]] = []
+        for pending, plan in prepared:
+            try:
+                proposal = (
+                    plan.proposal if packed else executor.execute(plan)
+                )
                 for chunk in proposal.chunks(self.config.stream_chunk):
                     if chunk.raws:
                         self._publish(

@@ -88,6 +88,44 @@ class TestProtocol:
         stats = next(e for e in events if e["event"] == "stats")
         assert stats["submitted"] >= 1
 
+    def test_stats_counters_under_pipelined_clients(self):
+        """Satellite: ServiceStats stays consistent when one connection
+        pipelines many requests and polls stats afterwards."""
+        n = 5
+        lines = [
+            {"backend": "rule", "count": 3, "seed": s} for s in range(n)
+        ]
+        lines.append({"op": "stats"})
+
+        def got_all(events):
+            results = [e for e in events if e.get("event") == "result"]
+            stats = [e for e in events if e.get("event") == "stats"]
+            # The stats line may be answered before the generation
+            # cycles drain; keep reading until everything resolved.
+            return len(results) == n and len(stats) == 1
+
+        events = asyncio.run(_round_trip(lines, stop_after=got_all))
+        results = _results(events)
+        assert len(results) == n
+        stats = next(e for e in events if e["event"] == "stats")
+        # Counter consistency: everything pipelined was submitted, and
+        # nothing failed.
+        assert stats["submitted"] == n
+        assert stats["failed"] == 0
+        assert stats["completed"] + stats["queue_depth"] <= n
+        # The queue-depth gauge and packing telemetry ride the same verb.
+        for field in (
+            "queue_depth", "queue_depth_at_cycle", "packed_batches",
+            "packed_jobs", "packed_fallbacks", "pack_fill",
+        ):
+            assert field in stats
+        assert stats["queue_depth"] >= 0
+        assert 0.0 <= stats["pack_fill"] <= 1.0
+        # The rule backend is not pack-capable: the packed counters must
+        # stay untouched rather than miscounting.
+        assert stats["packed_jobs"] == 0
+        assert stats["packed_fallbacks"] == 0
+
 
 class TestErrors:
     def test_unknown_backend_reports_error_event(self):

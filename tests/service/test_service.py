@@ -214,6 +214,83 @@ class TestLifecycleAndErrors:
             traffic = batch.cache_hits + batch.cache_misses
             assert traffic <= len(batch.clips)
 
+    def test_poisoned_request_fields_fail_only_their_batch(self, deck):
+        # compatibility_key() reprs user-supplied params on the
+        # scheduler loop; a repr that raises must fail that request,
+        # not kill the scheduler for every later client.
+        class ReprBomb:
+            def __repr__(self):
+                raise RuntimeError("repr bomb")
+
+        bad = GenerationRequest(
+            backend="rule", count=1, deck=deck, params={"x": ReprBomb()}
+        )
+        good = GenerationRequest(backend="rule", count=2, seed=1, deck=deck)
+        with ServiceClient() as client:
+            bad_ticket = client.submit(bad)
+            with pytest.raises(RuntimeError, match="repr bomb"):
+                bad_ticket.result(timeout=30)
+            # The scheduler loop survived: later requests still serve.
+            assert client.generate(good, timeout=30).legal_count == 2
+            assert client.service.stats.failed == 1
+
+    def test_poisoned_request_does_not_fail_co_arriving_requests(self, deck):
+        # Both requests land in ONE gather window; only the poisoned one
+        # may fail.
+        class ReprBomb:
+            def __repr__(self):
+                raise RuntimeError("repr bomb")
+
+        bad = GenerationRequest(
+            backend="rule", count=1, deck=deck, params={"x": ReprBomb()}
+        )
+        good = GenerationRequest(backend="rule", count=2, seed=9, deck=deck)
+        config = ServiceConfig(
+            scheduler=SchedulerConfig(gather_window_s=0.2)
+        )
+        with ServiceClient(config) as client:
+            bad_ticket = client.submit(bad)
+            good_ticket = client.submit(good)
+            with pytest.raises(RuntimeError, match="repr bomb"):
+                bad_ticket.result(timeout=30)
+            assert good_ticket.result(timeout=30).legal_count == 2
+            assert client.service.stats.failed == 1
+            assert client.service.stats.completed == 1
+
+    def test_worker_config_forwarded_to_capable_backend_factories(self, deck):
+        from repro.engine import get_backend
+
+        seen = {}
+
+        def factory(name, jobs=None, model_jobs=None, **kwargs):
+            seen.update(jobs=jobs, model_jobs=model_jobs)
+            return get_backend(name, **kwargs)
+
+        from repro.service import GenerationService
+
+        service = GenerationService(
+            ServiceConfig(jobs=2, model_jobs=2), backend_factory=factory
+        )
+        request = GenerationRequest(backend="rule", count=2, deck=deck)
+        with ServiceClient(service=service) as client:
+            assert client.generate(request).attempts == 2
+        assert seen == {"jobs": 2, "model_jobs": 2}
+
+    def test_factories_without_tuning_kwargs_still_work(self, deck):
+        from repro.engine import get_backend
+        from repro.service import GenerationService
+
+        def strict_factory(name, deck=None):
+            kwargs = {"deck": deck} if deck is not None else {}
+            return get_backend(name, **kwargs)
+
+        service = GenerationService(
+            ServiceConfig(jobs=2), backend_factory=strict_factory
+        )
+        request = GenerationRequest(backend="rule", count=2, deck=deck)
+        with ServiceClient(service=service) as client:
+            assert client.generate(request).attempts == 2
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             ServiceConfig(queue_size=0)
