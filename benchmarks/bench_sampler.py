@@ -231,8 +231,8 @@ def render(times: dict[str, float]) -> str:
 
 
 def write_artifact(times: dict[str, float], samples: dict[str, list[float]]) -> str:
-    """Persist the timing trajectory next to the cached experiment data."""
-    from repro.experiments.common import results_dir
+    """Persist the timing trajectory at the repo root (CI uploads it)."""
+    from repro.experiments.common import bench_dir
 
     payload = {
         "workload": {
@@ -258,7 +258,7 @@ def write_artifact(times: dict[str, float], samples: dict[str, list[float]]) -> 
             for mode, sec in times.items()
         },
     }
-    out = results_dir() / "BENCH_sampler.json"
+    out = bench_dir() / "BENCH_sampler.json"
     out.write_text(json.dumps(payload, indent=2))
     return str(out)
 

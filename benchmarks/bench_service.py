@@ -27,14 +27,22 @@ the model/denoise stages consume each request's own seeded rng stream
 never results.  The shared DRC stores are cleared before each mode so
 none inherits another's warm cache.
 
+A second, **mixed-workload** burst exercises worker lanes (ISSUE 6):
+four incompatible request groups (distinct ``params`` variants, so four
+compatibility keys) against a heavier 32x32 model, served with one lane
+vs a lane per key.  Lanes route each key's micro-batches to their own
+worker thread, so the four groups' model stages — BLAS-heavy matmuls
+that release the GIL — overlap on multi-core hosts.  Outputs are
+asserted bit-identical across lane counts.
+
 Acceptance targets: coalesced micro-batching beats sequential per-request
-serving (ISSUE 4), and packed serving reaches >= 1.3x coalesced
-throughput on the >= 8 small-concurrent-request burst (ISSUE 5).
-Single-core hosts skip whichever gate falls short, like
-``bench_sampler`` — though packing's win is python-overhead
-amortisation, so it typically clears the bar on one core too.  A
-``BENCH_service.json`` artifact records throughput, p50/p95 latency and
-packing counters per mode.  Runs standalone
+serving (ISSUE 4), packed serving reaches >= 1.3x coalesced
+throughput on the >= 8 small-concurrent-request burst (ISSUE 5), and
+multi-lane serving reaches >= 1.3x single-lane throughput on the mixed
+burst (ISSUE 6).  Single-core hosts skip whichever gate falls short,
+like ``bench_sampler``.  A ``BENCH_service.json`` artifact at the repo
+root records throughput, p50/p95 latency, packing counters per mode, the
+lane comparison and the full run trajectory.  Runs standalone
 (``python benchmarks/bench_service.py``) or under pytest.
 """
 
@@ -83,7 +91,22 @@ UNET = UNetConfig(
 )
 TRAIN_STEPS = 32
 
+# The mixed-workload lane burst: four incompatible request groups (four
+# compatibility keys) against a heavier model, so the per-lane model
+# stages are BLAS-dominated (matmuls release the GIL) and thread lanes
+# can genuinely overlap on multi-core hosts.
+LANE_KEYS = 4
+LANE_CLIENTS_PER_KEY = 2
+LANE_COUNT = 2  # inpainting attempts per request
+LANE_STEPS = 6
+LANE_GRID = Grid(nm_per_px=32.0, width_px=32, height_px=32)
+LANE_UNET = UNetConfig(
+    image_size=32, base_channels=16, channel_mults=(1, 2), num_res_blocks=1,
+    groups=8, time_dim=32, seed=1,
+)
+
 _CHECKPOINT: str | None = None
+_LANE_CHECKPOINT: str | None = None
 
 
 def _checkpoint() -> str:
@@ -92,6 +115,14 @@ def _checkpoint() -> str:
     if _CHECKPOINT is None:
         _CHECKPOINT = publish_model(TimeUnet(UNET))
     return _CHECKPOINT
+
+
+def _lane_checkpoint() -> str:
+    """Publish the heavier mixed-burst model once."""
+    global _LANE_CHECKPOINT
+    if _LANE_CHECKPOINT is None:
+        _LANE_CHECKPOINT = publish_model(TimeUnet(LANE_UNET))
+    return _LANE_CHECKPOINT
 
 
 class BenchInpaintBackend:
@@ -172,6 +203,68 @@ class BenchInpaintBackend:
 register_backend("bench-inpaint", BenchInpaintBackend, overwrite=True)
 
 
+class BenchLaneBackend:
+    """The mixed-burst backend: heavier model, variant-keyed workloads.
+
+    ``params["variant"]`` selects the template geometry, and because
+    ``params`` feeds ``compatibility_key``, each variant's requests form
+    their own micro-batches — the incompatible-workload mix worker lanes
+    exist for.  Deliberately not pack-capable: the lane burst measures
+    cross-key concurrency, not within-key packing.
+    """
+
+    name = "bench-lane"
+    MODEL_BATCH = 32
+
+    def __init__(self, deck=None):
+        self._deck = deck if deck is not None else basic_deck(LANE_GRID)
+        state, meta = load_module_state(_lane_checkpoint())
+        cfg = dict(meta["unet"])
+        cfg["channel_mults"] = tuple(cfg["channel_mults"])
+        self._model = TimeUnet(UNetConfig(**cfg))
+        self._model.load_state_dict(state)
+        self._schedule: NoiseSchedule = linear_schedule(TRAIN_STEPS)
+        self._config = InpaintConfig(num_steps=LANE_STEPS)
+
+    @property
+    def deck(self):
+        return self._deck
+
+    def _jobs(self, request):
+        size = LANE_UNET.image_size
+        variant = int(request.params.get("variant", 0))
+        template = np.zeros((size, size), dtype=np.uint8)
+        template[:, 4 + variant:8 + variant] = 1
+        template[:, 18 + variant:22 + variant] = 1
+        mask = np.zeros((size, size), dtype=bool)
+        mask[:, size // 2:] = True
+        return [template] * request.count, [mask] * request.count
+
+    def propose(self, request, rng):
+        templates, masks = self._jobs(request)
+        t0 = time.perf_counter()
+        sizes = chunk_sizes(len(templates), self.MODEL_BATCH)
+        raws, offset = [], 0
+        for size, child in zip(sizes, rng.spawn(len(sizes))):
+            raws.extend(
+                inpaint_jobs(
+                    self._model, self._schedule,
+                    templates[offset:offset + size],
+                    masks[offset:offset + size], child, self._config,
+                )
+            )
+            offset += size
+        return CandidateBatch(
+            raws=raws,
+            templates=templates,
+            attempts=request.count,
+            generate_seconds=time.perf_counter() - t0,
+        )
+
+
+register_backend("bench-lane", BenchLaneBackend, overwrite=True)
+
+
 def _requests():
     deck = basic_deck(GRID)
     return [
@@ -206,30 +299,71 @@ def _service(requests, *, coalesce: bool, pack: bool = False):
         jobs=JOBS, queue_size=NUM_CLIENTS * 2, pack_models=pack,
         scheduler=scheduler,
     )
+    with ServiceClient(config) as client:
+        wall, latencies, results = _threaded_burst(client, requests)
+        stats = client.service.stats
+    return wall, latencies, results, stats
+
+
+def _threaded_burst(client, requests):
+    """One thread per request, released together; per-client latencies."""
     latencies = [0.0] * len(requests)
     results = [None] * len(requests)
-    with ServiceClient(config) as client:
-        barrier = threading.Barrier(len(requests) + 1)
+    barrier = threading.Barrier(len(requests) + 1)
 
-        def worker(i):
-            barrier.wait()
-            t_req = time.perf_counter()
-            results[i] = client.generate(requests[i])
-            latencies[i] = time.perf_counter() - t_req
-
-        threads = [
-            threading.Thread(target=worker, args=(i,))
-            for i in range(len(requests))
-        ]
-        for t in threads:
-            t.start()
+    def worker(i):
         barrier.wait()
-        t0 = time.perf_counter()
-        for t in threads:
-            t.join()
-        wall = time.perf_counter() - t0
+        t_req = time.perf_counter()
+        results[i] = client.generate(requests[i])
+        latencies[i] = time.perf_counter() - t_req
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(len(requests))
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, latencies, list(results)
+
+
+def _lane_requests():
+    """The mixed burst: ``LANE_KEYS`` incompatible groups of requests."""
+    deck = basic_deck(LANE_GRID)
+    return [
+        GenerationRequest(
+            backend="bench-lane", count=LANE_COUNT,
+            seed=200 + 10 * variant + j, deck=deck,
+            params={"variant": variant},
+        )
+        for variant in range(LANE_KEYS)
+        for j in range(LANE_CLIENTS_PER_KEY)
+    ]
+
+
+def _lanes_mode(requests, lanes):
+    """Serve the mixed burst with ``lanes`` worker lanes.
+
+    A warmup pass inside the same client pays the per-lane model
+    rehydration and fills the shared DRC memo, so the measured burst
+    times the concurrent model stages — the thing lanes parallelise —
+    rather than one-time construction costs.
+    """
+    config = ServiceConfig(
+        jobs=1, lanes=lanes, queue_size=len(requests) * 2,
+        pack_models=False,
+        scheduler=SchedulerConfig(
+            max_batch_requests=len(requests), gather_window_s=0.05
+        ),
+    )
+    with ServiceClient(config) as client:
+        client.generate_many(requests)  # warmup (see docstring)
+        wall, latencies, results = _threaded_burst(client, requests)
         stats = client.service.stats
-    return wall, latencies, list(results), stats
+    return wall, latencies, results, stats
 
 
 def _percentile(values, q):
@@ -249,11 +383,15 @@ def run_bench():
     latencies: dict[str, list[float]] = {}
     outputs: dict[str, list] = {}
     stats: dict[str, object] = {}
+    trajectory: list[dict] = []
     for name, fn in modes.items():
         best = None
         for _ in range(RUNS):
             clear_shared_caches()  # no mode inherits another's warm DRC memo
             run = fn()
+            trajectory.append(
+                {"mode": name, "wall_seconds": round(run[0], 4)}
+            )
             if best is None or run[0] < best[0]:
                 best = run
         walls[name], latencies[name], outputs[name], stats[name] = best
@@ -277,7 +415,50 @@ def run_bench():
         "measuring cross-request packing"
     )
     assert stats["packed"].packed_fallbacks == 0
-    return walls, latencies, stats
+    return walls, latencies, stats, trajectory
+
+
+def run_lanes_bench():
+    """The mixed-workload lane comparison: one lane vs one lane per key.
+
+    Returns per-lane-count walls and stats plus the run trajectory;
+    asserts the multi-lane outputs are bit-identical to single-lane
+    (the commit stage's determinism contract) and that the multi-lane
+    run actually spread micro-batches across >= 2 lanes.
+    """
+    requests = _lane_requests()
+    walls: dict[int, float] = {}
+    outputs: dict[int, list] = {}
+    stats: dict[int, object] = {}
+    trajectory: list[dict] = []
+    for lanes in (1, LANE_KEYS):
+        best = None
+        for _ in range(RUNS):
+            clear_shared_caches()
+            run = _lanes_mode(requests, lanes)
+            trajectory.append(
+                {"mode": f"lanes-{lanes}", "wall_seconds": round(run[0], 4)}
+            )
+            if best is None or run[0] < best[0]:
+                best = run
+        walls[lanes], _, outputs[lanes], stats[lanes] = best
+
+    for got, want in zip(outputs[LANE_KEYS], outputs[1]):
+        assert got.attempts == want.attempts
+        for a, b in zip(want.clips, got.clips):
+            np.testing.assert_array_equal(
+                a, b, err_msg="multi-lane output diverged from single-lane"
+            )
+        np.testing.assert_array_equal(want.legal, got.legal)
+        assert got.admitted == want.admitted
+    served_lanes = sum(
+        1 for lane in stats[LANE_KEYS].lanes.values() if lane.micro_batches
+    )
+    assert served_lanes > 1, (
+        "the mixed burst never spread across lanes; the benchmark is not "
+        "measuring lane concurrency"
+    )
+    return walls, stats, trajectory
 
 
 def render(walls, latencies) -> str:
@@ -302,11 +483,13 @@ def render(walls, latencies) -> str:
     )
 
 
-def write_artifact(walls, latencies, stats) -> str:
-    from repro.experiments.common import results_dir
+def write_artifact(walls, latencies, stats, lane_walls, lane_stats,
+                   trajectory) -> str:
+    from repro.experiments.common import bench_dir
 
     coalesced = stats["coalesced"]
     packed = stats["packed"]
+    lane_clients = LANE_KEYS * LANE_CLIENTS_PER_KEY
     payload = {
         "workload": {
             "clients": NUM_CLIENTS,
@@ -343,26 +526,53 @@ def write_artifact(walls, latencies, stats) -> str:
             }
             for mode, wall in walls.items()
         },
+        "lanes": {
+            "keys": LANE_KEYS,
+            "clients": lane_clients,
+            "count_per_request": LANE_COUNT,
+            "num_steps": LANE_STEPS,
+            "image_size": LANE_UNET.image_size,
+            "lane_count": LANE_KEYS,
+            "single_lane_wall_seconds": round(lane_walls[1], 4),
+            "multi_lane_wall_seconds": round(lane_walls[LANE_KEYS], 4),
+            "speedup_vs_single_lane": round(
+                lane_walls[1] / lane_walls[LANE_KEYS], 3
+            ),
+            "per_lane": [
+                lane_stats[LANE_KEYS].lanes[lane_id].snapshot()
+                for lane_id in sorted(lane_stats[LANE_KEYS].lanes)
+            ],
+        },
+        "trajectory": trajectory,
     }
-    out = results_dir() / "BENCH_service.json"
+    out = bench_dir() / "BENCH_service.json"
     out.write_text(json.dumps(payload, indent=2))
     return str(out)
 
 
 @pytest.fixture(scope="module")
 def bench_results():
-    walls, latencies, stats = run_bench()
-    path = write_artifact(walls, latencies, stats)
+    walls, latencies, stats, trajectory = run_bench()
+    lane_walls, lane_stats, lane_trajectory = run_lanes_bench()
+    path = write_artifact(
+        walls, latencies, stats, lane_walls, lane_stats,
+        trajectory + lane_trajectory,
+    )
+    lane_line = (
+        f"lanes: 1 lane {lane_walls[1]:.3f}s vs {LANE_KEYS} lanes "
+        f"{lane_walls[LANE_KEYS]:.3f}s "
+        f"({lane_walls[1] / lane_walls[LANE_KEYS]:.2f}x)"
+    )
     report(
         "bench_service: serving modes",
-        render(walls, latencies) + f"\n[artifact: {path}]",
+        render(walls, latencies) + f"\n{lane_line}\n[artifact: {path}]",
     )
-    return walls, latencies, stats
+    return walls, latencies, stats, lane_walls
 
 
 class TestServingThroughput:
     def test_coalesced_micro_batching_beats_sequential(self, bench_results):
-        walls, _, _ = bench_results
+        walls, _, _, _ = bench_results
         if (os.cpu_count() or 1) < 2 and walls["coalesced"] > walls["sequential"]:
             # One core leaves no parallel slack between the service's
             # loop/worker threads and the executor pools; the acceptance
@@ -386,7 +596,7 @@ class TestServingThroughput:
         multi-core hosts (the CI benchmark job) with the same
         single-core escape hatch as the other gates.
         """
-        walls, _, stats = bench_results
+        walls, _, stats, _ = bench_results
         ratio = walls["coalesced"] / walls["packed"]
         if (os.cpu_count() or 1) < 2 and ratio < 1.3:
             pytest.skip(
@@ -400,8 +610,40 @@ class TestServingThroughput:
             f"{NUM_CLIENTS} small concurrent requests"
         )
 
+    def test_multi_lane_beats_single_lane(self, bench_results):
+        """ISSUE 6 gate: worker lanes >= 1.3x single-lane on mixed keys.
+
+        Bit-identity across lane counts is asserted unconditionally in
+        ``run_lanes_bench``; the throughput ratio is gated on multi-core
+        hosts (the CI benchmark job) — one core serializes the lane
+        threads, so single-core hosts skip rather than measure noise.
+        """
+        _, _, _, lane_walls = bench_results
+        ratio = lane_walls[1] / lane_walls[LANE_KEYS]
+        if (os.cpu_count() or 1) < 2 and ratio < 1.3:
+            pytest.skip(
+                f"single-core host: {LANE_KEYS} lanes {ratio:.2f}x single "
+                "lane (>= 1.3x gate enforced on the multi-core CI job)"
+            )
+        assert ratio >= 1.3, (
+            f"lanes-1={lane_walls[1]:.3f}s lanes-{LANE_KEYS}="
+            f"{lane_walls[LANE_KEYS]:.3f}s ({ratio:.2f}x): concurrent "
+            "worker lanes must reach 1.3x single-lane throughput on the "
+            f"{LANE_KEYS}-key mixed burst"
+        )
+
 
 if __name__ == "__main__":  # pragma: no cover
-    walls, latencies, stats = run_bench()
+    walls, latencies, stats, trajectory = run_bench()
+    lane_walls, lane_stats, lane_trajectory = run_lanes_bench()
     print(render(walls, latencies))
-    print(f"[artifact: {write_artifact(walls, latencies, stats)}]")
+    print(
+        f"lanes: 1 lane {lane_walls[1]:.3f}s vs {LANE_KEYS} lanes "
+        f"{lane_walls[LANE_KEYS]:.3f}s "
+        f"({lane_walls[1] / lane_walls[LANE_KEYS]:.2f}x)"
+    )
+    path = write_artifact(
+        walls, latencies, stats, lane_walls, lane_stats,
+        trajectory + lane_trajectory,
+    )
+    print(f"[artifact: {path}]")

@@ -62,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persistent library snapshot directory: existing "
                           "clips are loaded first (cross-run dedup), and the "
                           "grown library is saved back after generation")
+    gen.add_argument("--drc-cache-dir", default=None, metavar="DIR",
+                     help="persist the content-hash DRC verdict cache here "
+                          "across runs (loaded before generation, saved "
+                          "after; stale files from edited decks are "
+                          "ignored automatically)")
 
     drc = sub.add_parser("drc", help="run DRC over a clip library")
     drc.add_argument("library", help=".npz produced by 'generate' or the API")
@@ -99,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="process workers for the model stage "
                             "(default: --jobs)")
+    serve.add_argument("--lanes", type=_positive_int, default=None,
+                       metavar="N",
+                       help="concurrent worker lanes: micro-batches with "
+                            "different compatibility keys run in parallel "
+                            "(outputs stay bit-identical at any lane "
+                            "count; default: $REPRO_SERVICE_LANES or 1)")
     serve.add_argument("--queue-size", type=_positive_int, default=64,
                        help="bounded request queue depth (backpressure)")
     serve.add_argument("--max-batch", type=_positive_int, default=8,
@@ -124,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="snapshot a session's store every N merged "
                             "request batches (needs --session-dir; "
                             "default: only at shutdown)")
+    serve.add_argument("--drc-cache-dir", default=None, metavar="DIR",
+                       help="persist the content-hash DRC verdict cache "
+                            "here across server runs (loaded at startup, "
+                            "saved at shutdown)")
 
     lib = sub.add_parser(
         "library", help="inspect / merge sharded library snapshots"
@@ -202,6 +217,14 @@ def _cmd_generate(args) -> int:
         return 2
     preloaded = len(store) if store is not None else 0
 
+    if args.drc_cache_dir:
+        from .drc.cache import load_shared_caches
+
+        loaded = load_shared_caches(args.drc_cache_dir)
+        if loaded:
+            print(f"DRC cache: loaded {loaded} verdicts "
+                  f"from {args.drc_cache_dir}")
+
     request = GenerationRequest(
         backend=args.backend, count=args.count, seed=args.seed, deck=deck
     )
@@ -219,6 +242,10 @@ def _cmd_generate(args) -> int:
         close = getattr(backend, "close", None)
         if callable(close):
             close()
+        if args.drc_cache_dir:
+            from .drc.cache import save_shared_caches
+
+            save_shared_caches(args.drc_cache_dir)
     # Only this run's admissions go to --out; the snapshot dir keeps all.
     clips = list(batch.library.clips[preloaded:])
     if args.library_dir:
@@ -315,6 +342,7 @@ def _cmd_serve(args) -> int:
         model_jobs=(
             args.model_jobs if args.model_jobs is not None else args.jobs
         ),
+        lanes=args.lanes,
         pack_models=not args.no_pack,
         scheduler=SchedulerConfig(
             max_batch_requests=args.max_batch,
@@ -328,6 +356,13 @@ def _cmd_serve(args) -> int:
     )
 
     async def main() -> None:
+        if args.drc_cache_dir:
+            from .drc.cache import load_shared_caches
+
+            loaded = load_shared_caches(args.drc_cache_dir)
+            if loaded:
+                print(f"repro serve: DRC cache: loaded {loaded} verdicts "
+                      f"from {args.drc_cache_dir}")
         service = GenerationService(config)
         await service.start()
         server = await serve(
@@ -336,7 +371,7 @@ def _cmd_serve(args) -> int:
         host, port = server.sockets[0].getsockname()[:2]
         print(f"repro serve: listening on {host}:{port} "
               f"(deck={args.deck}, jobs={config.jobs}, "
-              f"max-batch={args.max_batch})")
+              f"lanes={config.lanes}, max-batch={args.max_batch})")
         print('protocol: one JSON object per line, e.g. '
               '{"backend": "rule", "count": 8, "seed": 0}')
         try:
@@ -344,7 +379,23 @@ def _cmd_serve(args) -> int:
                 await server.serve_forever()
         finally:
             await service.stop()
+            if args.drc_cache_dir:
+                from .drc.cache import save_shared_caches
 
+                save_shared_caches(args.drc_cache_dir)
+
+    import signal
+
+    def _sigterm(signum, frame):
+        # An orchestrator's SIGTERM must take the same graceful path as
+        # Ctrl-C: stop the service, checkpoint sessions, save the DRC
+        # cache. The default action would kill the process mid-flight.
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except (ValueError, OSError):
+        pass  # not the main thread / unsupported platform
     try:
         asyncio.run(main())
     except KeyboardInterrupt:

@@ -1,5 +1,11 @@
 """Pixel-level design-rule checking: rules, measurement kernels, decks."""
 
+from .cache import (
+    DrcCache,
+    clear_shared_caches,
+    load_shared_caches,
+    save_shared_caches,
+)
 from .decks import RuleDeck, advanced_deck, basic_deck, complex_deck, deck_by_name
 from .engine import DrcEngine
 from .measure import ClipMeasurements, GapTable, RunTable, gap_table, run_table
@@ -24,6 +30,7 @@ __all__ = [
     "WIDE_CLASS",
     "ClipMeasurements",
     "DiscreteWidthRule",
+    "DrcCache",
     "DrcEngine",
     "DrcReport",
     "EndToEndRule",
@@ -43,8 +50,11 @@ __all__ = [
     "advanced_deck",
     "basic_deck",
     "classify_width",
+    "clear_shared_caches",
     "complex_deck",
     "deck_by_name",
     "gap_table",
+    "load_shared_caches",
     "run_table",
+    "save_shared_caches",
 ]

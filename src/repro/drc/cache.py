@@ -15,11 +15,23 @@ The cache is bounded (FIFO eviction) and thread-safe; worker threads of the
 :class:`~repro.engine.executor.BatchExecutor` hit it concurrently.  It is
 deliberately *not* shipped to process-pool workers: pickling an engine
 yields a fresh empty cache, and the parent process re-absorbs results.
+
+The shared stores can optionally persist across processes:
+:func:`save_shared_caches` writes each store to a JSON file named by its
+deck fingerprint digest, and :func:`load_shared_caches` pre-seeds the
+stores from such a directory.  The fingerprint inside every file is the
+staleness guard — a file whose recorded deck fingerprint does not hash
+to its own filename (renamed, edited, or written by a different deck
+definition) is skipped rather than trusted.  ``repro serve`` and
+``repro generate`` expose this as ``--drc-cache-dir``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -29,7 +41,12 @@ from ..geometry.hashing import pattern_hash
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> cache)
     from .engine import DrcEngine
 
-__all__ = ["DrcCache", "clear_shared_caches"]
+__all__ = [
+    "DrcCache",
+    "clear_shared_caches",
+    "load_shared_caches",
+    "save_shared_caches",
+]
 
 #: Deck fingerprint -> (lock, legality memo) shared by all equal engines.
 #: The lock travels with the store: caches over the same deck must
@@ -46,6 +63,98 @@ def clear_shared_caches() -> None:
     """Drop every shared legality store (mainly for tests and benches)."""
     with _SHARED_LOCK:
         _SHARED_STORES.clear()
+
+
+#: On-disk cache file schema version; files with another version are skipped.
+_DISK_FORMAT = 1
+
+
+def _fingerprint_digest(fingerprint: tuple[str, str]) -> str:
+    """The filename-safe digest of a deck fingerprint."""
+    return hashlib.sha1(repr(fingerprint).encode()).hexdigest()[:16]
+
+
+def _cache_path(root: Path, fingerprint: tuple[str, str]) -> Path:
+    return root / f"drc-{_fingerprint_digest(fingerprint)}.json"
+
+
+def save_shared_caches(root: str | Path) -> int:
+    """Persist every shared legality store under ``root``; returns files written.
+
+    One JSON file per deck fingerprint (``drc-<digest>.json``), written
+    atomically (tmp + rename) so a crash mid-save never leaves a
+    half-written file for the next run to trust.  Empty stores are
+    skipped.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    with _SHARED_LOCK:
+        snapshot = {
+            fingerprint: (lock, store)
+            for fingerprint, (lock, store) in _SHARED_STORES.items()
+        }
+    written = 0
+    for fingerprint, (lock, store) in snapshot.items():
+        with lock:
+            entries = dict(store)
+        if not entries:
+            continue
+        payload = {
+            "format": _DISK_FORMAT,
+            "fingerprint": list(fingerprint),
+            "entries": entries,
+        }
+        path = _cache_path(root, fingerprint)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        written += 1
+    return written
+
+
+def load_shared_caches(
+    root: str | Path, *, maxsize: int = DEFAULT_MAXSIZE
+) -> int:
+    """Pre-seed the shared stores from ``root``; returns entries loaded.
+
+    Staleness guard: a file is only trusted when its recorded deck
+    fingerprint hashes back to its own filename — a cache produced by a
+    different deck definition (rules edited, deck renamed) gets a new
+    digest, so the stale file is simply ignored rather than poisoning
+    fresh runs with verdicts from old rules.  Corrupt or wrong-format
+    files are skipped.  Entries already memoised in-process win over
+    disk; loading stops filling a store at ``maxsize``.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return 0
+    loaded = 0
+    for path in sorted(root.glob("drc-*.json")):
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format") != _DISK_FORMAT:
+                continue
+            name, rules_repr = payload["fingerprint"]
+            fingerprint = (str(name), str(rules_repr))
+            entries = payload["entries"]
+            if not isinstance(entries, dict):
+                continue
+        except (OSError, ValueError, KeyError, TypeError):
+            continue  # corrupt file: worst case is a cold cache
+        if _cache_path(root, fingerprint) != path:
+            continue  # stale: fingerprint no longer matches the filename
+        with _SHARED_LOCK:
+            lock, store = _SHARED_STORES.setdefault(
+                fingerprint, (threading.Lock(), {})
+            )
+        with lock:
+            for key, value in entries.items():
+                if len(store) >= maxsize:
+                    break
+                if key not in store:
+                    store[key] = bool(value)
+                    loaded += 1
+    return loaded
 
 
 class DrcCache:

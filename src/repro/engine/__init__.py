@@ -30,6 +30,7 @@ from .executor import (
     ExecutionPlan,
     ExecutorConfig,
     PackedModelResult,
+    PoolRegistry,
     PostprocessResult,
     run_generation,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "PackedModelBatch",
     "PackedModelResult",
     "PackingPlan",
+    "PoolRegistry",
     "PostprocessResult",
     "StageTimings",
     "deck_key",

@@ -73,6 +73,7 @@ __all__ = [
     "ExecutorConfig",
     "ExecutionPlan",
     "PackedModelResult",
+    "PoolRegistry",
     "PostprocessResult",
     "BatchExecutor",
     "run_generation",
@@ -92,7 +93,7 @@ def _denoise_one(
 
 
 class _PoolLease:
-    """A persistent pool plus its lease bookkeeping (see ``_leased_pool``)."""
+    """A persistent pool plus its lease bookkeeping (see ``PoolRegistry``)."""
 
     __slots__ = ("pool", "refs", "retired")
 
@@ -100,6 +101,101 @@ class _PoolLease:
         self.pool = pool
         self.refs = 0
         self.retired = False
+
+
+class PoolRegistry:
+    """Lease-managed persistent worker pools, keyed by ``(kind, workers)``.
+
+    One registry may back several :class:`BatchExecutor` instances — the
+    service's worker lanes share one, so N lanes over the same deck hold
+    one thread pool and one process pool between them instead of N of
+    each.  Pools are created lazily on first lease and live until
+    :meth:`close`; each distinct (kind, size) pair has at most one live
+    pool at a time.
+
+    The lease is what makes :meth:`close` safe while stages run: a pool
+    is only ever shut down with zero lessees, so a stage can never see
+    its pool die between acquiring it and submitting work.  A close
+    racing an active stage *retires* the pool (detaches it from the map)
+    and the stage — the last lessee — shuts it down on release.  A
+    closed registry lazily re-creates pools if leased again.
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[tuple[str, int], _PoolLease] = {}
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def lease(self, kind: str, workers: int):
+        """Lease the persistent pool for ``(kind, workers)`` for one stage."""
+        if kind not in ("thread", "process"):
+            raise ValueError(
+                f"unknown pool kind {kind!r} (use 'thread' or 'process')"
+            )
+        key = (kind, workers)
+        with self._lock:
+            lease = self._pools.get(key)
+            if lease is None:
+                if kind == "thread":
+                    pool = ThreadPoolExecutor(max_workers=workers)
+                else:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                lease = _PoolLease(pool)
+                self._pools[key] = lease
+            lease.refs += 1
+        try:
+            yield lease.pool
+        finally:
+            with self._lock:
+                lease.refs -= 1
+                shutdown_now = lease.retired and lease.refs == 0
+            if shutdown_now:
+                lease.pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Shut down the pools (idempotent; safe under concurrent callers).
+
+        The pool map is detached under the lock (a double close, or two
+        closes racing, each shut down disjoint sets), idle pools are shut
+        down here with ``wait=True``, and pools a running stage currently
+        leases are retired for that stage to shut down when it finishes.
+        """
+        with self._lock:
+            leases, self._pools = list(self._pools.values()), {}
+            idle = []
+            for lease in leases:
+                lease.retired = True
+                if lease.refs == 0:
+                    idle.append(lease)
+        for lease in idle:
+            lease.pool.shutdown(wait=True)
+
+    # Dict-like inspection of the live leases (tests and telemetry peek
+    # at which (kind, workers) pools currently exist).
+    def get(self, key: tuple[str, int]) -> "_PoolLease | None":
+        with self._lock:
+            return self._pools.get(key)
+
+    def __getitem__(self, key: tuple[str, int]) -> "_PoolLease":
+        with self._lock:
+            return self._pools[key]
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._pools
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pools)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __enter__(self) -> "PoolRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -196,87 +292,61 @@ class ExecutionPlan:
 class BatchExecutor:
     """Runs the shared generation machinery against one DRC engine.
 
-    The executor owns **persistent** worker pools for its lifetime: the
-    first pooled stage lazily creates the thread and/or process pool and
-    every later batch reuses it, instead of paying pool spin-up on each
-    ``denoise_batch``/``check_batch``/``admit_batch``/model-stage call.
-    Close the executor (``close()`` or a ``with`` block) to shut the
-    pools down; a closed executor lazily re-creates them if used again.
+    The executor runs its pooled stages on **persistent** worker pools:
+    the first pooled stage lazily creates the thread and/or process pool
+    and every later batch reuses it, instead of paying pool spin-up on
+    each ``denoise_batch``/``check_batch``/``admit_batch``/model-stage
+    call.  By default each executor owns a private :class:`PoolRegistry`
+    and ``close()`` (or exiting a ``with`` block) shuts its pools down;
+    pass ``pools=`` to share one registry across executors — the
+    service's concurrent worker lanes do this so N lanes hold one pool
+    per (kind, size), not N — in which case ``close()`` leaves the
+    shared pools to their owner.  A closed executor lazily re-creates
+    pools if used again.
     """
 
     def __init__(
-        self, engine: DrcEngine, config: ExecutorConfig | None = None
+        self,
+        engine: DrcEngine,
+        config: ExecutorConfig | None = None,
+        *,
+        pools: PoolRegistry | None = None,
     ):
         self.engine = engine
         self.config = config or ExecutorConfig()
-        self._pools: dict[tuple[str, int], _PoolLease] = {}
-        self._pools_lock = threading.Lock()
+        self.pools = pools if pools is not None else PoolRegistry()
+        self._owns_pools = pools is None
+
+    @property
+    def _pools(self) -> PoolRegistry:
+        # Back-compat inspection alias (pre-registry the executor held
+        # the lease dict itself); the registry is dict-like for reads.
+        return self.pools
 
     # ------------------------------------------------------------------
     # Persistent pools
     # ------------------------------------------------------------------
-    @contextmanager
     def _leased_pool(self, kind: str, workers: int):
-        """Lease the persistent pool for ``(kind, workers)`` for one stage.
+        """Lease the registry's persistent pool for ``(kind, workers)``.
 
         Pools are keyed by worker count so each stage is bounded by its
         own configured parallelism (``jobs`` for denoise/DRC/admit,
         ``model_jobs`` for the model stage) even when both kinds share a
-        process pool; at most one live pool per distinct (kind, size)
-        pair exists at a time.
-
-        The lease is what makes :meth:`close` safe while stages run: a
-        pool is only ever shut down with zero lessees, so a stage can
-        never see its pool die between acquiring it and submitting work.
-        A close racing an active stage *retires* the pool (detaches it
-        from the map) and the stage — the last lessee — shuts it down on
-        release.
+        process pool; see :class:`PoolRegistry` for the lease/retire
+        semantics that make :meth:`close` safe while stages run.
         """
-        if kind not in ("thread", "process"):
-            raise ValueError(
-                f"unknown pool kind {kind!r} (use 'thread' or 'process')"
-            )
-        key = (kind, workers)
-        with self._pools_lock:
-            lease = self._pools.get(key)
-            if lease is None:
-                if kind == "thread":
-                    pool = ThreadPoolExecutor(max_workers=workers)
-                else:
-                    pool = ProcessPoolExecutor(max_workers=workers)
-                lease = _PoolLease(pool)
-                self._pools[key] = lease
-            lease.refs += 1
-        try:
-            yield lease.pool
-        finally:
-            with self._pools_lock:
-                lease.refs -= 1
-                shutdown_now = lease.retired and lease.refs == 0
-            if shutdown_now:
-                lease.pool.shutdown(wait=True)
+        return self.pools.lease(kind, workers)
 
     def close(self) -> None:
-        """Shut down the persistent pools.
+        """Shut down the owned pool registry (see :meth:`PoolRegistry.close`).
 
-        Idempotent and safe under concurrent callers: the pool map is
-        detached under a lock (a double close, or two closes racing,
-        each shut down disjoint sets), idle pools are shut down here with
-        ``wait=True``, and pools a running stage currently leases are
-        retired for that stage to shut down when it finishes — a close
-        racing in-flight work never raises and never pulls a pool out
-        from under a stage.  A closed executor lazily re-creates pools
-        if it is used again.
+        Idempotent and safe under concurrent callers; a close racing
+        in-flight work never raises and never pulls a pool out from
+        under a stage.  When the registry was injected (shared across
+        executors), this is a no-op — the registry's owner closes it.
         """
-        with self._pools_lock:
-            leases, self._pools = list(self._pools.values()), {}
-            idle = []
-            for lease in leases:
-                lease.retired = True
-                if lease.refs == 0:
-                    idle.append(lease)
-        for lease in idle:
-            lease.pool.shutdown(wait=True)
+        if self._owns_pools:
+            self.pools.close()
 
     def __enter__(self) -> "BatchExecutor":
         return self

@@ -38,6 +38,7 @@ __all__ = [
     "repro_scale",
     "scaled",
     "results_dir",
+    "bench_dir",
     "format_table",
     "ModelRun",
     "save_model_run",
@@ -64,6 +65,23 @@ def scaled(n: int, minimum: int = 1) -> int:
 def results_dir() -> Path:
     """Cache directory for experiment outputs."""
     path = artifacts_dir() / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def bench_dir() -> Path:
+    """Where ``BENCH_*.json`` artifacts land: the repo root by default.
+
+    The benchmark trajectory is tracked at the repo root (CI uploads
+    ``BENCH_*.json`` from there), unlike cached experiment outputs which
+    stay under the git-ignored ``.artifacts/``.  Override with
+    ``REPRO_BENCH_DIR`` for ad-hoc runs that should not touch the tree.
+    """
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        path = Path(override)
+    else:
+        path = Path(__file__).resolve().parents[3]
     path.mkdir(parents=True, exist_ok=True)
     return path
 

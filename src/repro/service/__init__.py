@@ -12,6 +12,14 @@ machinery in a long-lived asyncio service:
   coalescing rules (group by compatibility key, arrival order inside a
   batch, priority across batches) plus the cross-request model-batch
   packing plan (:meth:`MicroBatchScheduler.pack`);
+* :class:`LaneManager` / :class:`Lane` — bounded concurrent worker
+  lanes with sticky per-compatibility-key routing and warm per-lane
+  engine state; admissions reconcile through a single ordered commit
+  stage so session stores stay arrival-ordered at any lane count;
+* :class:`LatencyHistogram` / :class:`StageLatencies` /
+  :class:`LaneStats` — per-stage serving latency histograms
+  (:data:`STAGES`), kept globally and per lane, exported by the
+  ``op: "stats"`` verb;
 * :class:`SessionManager` / :class:`SessionConfig` — shared or per-tenant
   stores, snapshot-loaded and checkpointed via :mod:`repro.library`;
 * :class:`ServiceClient` — the blocking in-process client used by tests
@@ -40,6 +48,7 @@ and telemetry; ``docs/ARCHITECTURE.md`` the determinism contract.
 """
 
 from .client import ClientTicket, ServiceClient
+from .lanes import Lane, LaneManager
 from .scheduler import (
     MicroBatch,
     MicroBatchScheduler,
@@ -54,11 +63,17 @@ from .service import (
     ServiceStats,
 )
 from .session import SHARED_SESSION, Session, SessionConfig, SessionManager
+from .stats import STAGES, LaneStats, LatencyHistogram, StageLatencies
 
 __all__ = [
     "SHARED_SESSION",
+    "STAGES",
     "ClientTicket",
     "GenerationService",
+    "Lane",
+    "LaneManager",
+    "LaneStats",
+    "LatencyHistogram",
     "MicroBatch",
     "MicroBatchScheduler",
     "PendingRequest",
@@ -70,6 +85,7 @@ __all__ = [
     "Session",
     "SessionConfig",
     "SessionManager",
+    "StageLatencies",
     "handle_connection",
     "serve",
 ]

@@ -71,12 +71,16 @@ class PendingRequest:
     index — the canonical order for session merges.  ``stream`` is the
     :class:`~repro.service.ResultStream` results are published to (typed
     ``Any`` to keep the scheduler import-light and testable standalone).
+    ``submitted_at``/``dequeued_at`` are ``time.perf_counter()`` stamps
+    feeding the service's ``queue``/``gather`` latency histograms.
     """
 
     arrival: int
     request: GenerationRequest
     session_id: str | None = None
     stream: Any = None
+    submitted_at: float = 0.0
+    dequeued_at: float = 0.0
 
 
 @dataclass

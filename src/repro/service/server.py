@@ -152,6 +152,15 @@ async def handle_connection(
                         "packed_jobs": stats.packed_jobs,
                         "packed_fallbacks": stats.packed_fallbacks,
                         "pack_fill": round(stats.last_pack_fill, 4),
+                        "lane_count": len(stats.lanes),
+                        # Per-stage latency histograms (queue/gather/
+                        # model/drc/admit), service-wide and per lane;
+                        # see docs/SERVING.md for the bucket format.
+                        "stages": stats.stages.snapshot(),
+                        "lanes": [
+                            stats.lanes[lane_id].snapshot()
+                            for lane_id in sorted(stats.lanes)
+                        ],
                     })
                     continue
                 if op is not None:

@@ -1,4 +1,4 @@
-"""The asyncio generation service: queue -> scheduler -> shared executors.
+"""The asyncio generation service: queue -> scheduler -> worker lanes.
 
 :class:`GenerationService` turns the one-shot
 :func:`repro.engine.run_generation` machinery into a long-lived server:
@@ -9,57 +9,67 @@
   (backpressure) instead of growing memory without bound;
 * **cross-client micro-batching** — a gather window collects co-arriving
   requests, and the :class:`~repro.service.scheduler.MicroBatchScheduler`
-  coalesces compatible ones (same backend/deck/shape) into micro-batches
-  served by one warm backend instance and executor: with a pack-capable
-  backend the model stage samples **chunks from different requests as
-  shared full-width model batches** (the scheduler's packing plan;
-  per-chunk rng spawned from each request's own stream, so outputs stay
-  bit-identical to a serial ``run_generation``), and the DRC stage runs
-  as **one** cached sweep over the whole micro-batch;
+  coalesces compatible ones (same backend/deck/shape) into micro-batches:
+  with a pack-capable backend the model stage samples **chunks from
+  different requests as shared full-width model batches**, and the DRC
+  stage runs as **one** cached sweep over the whole micro-batch;
+* **concurrent worker lanes** — each micro-batch is routed by its
+  compatibility key to one of a bounded set of
+  :class:`~repro.service.lanes.Lane` worker threads
+  (:class:`~repro.service.lanes.LaneManager`: sticky key→lane routing,
+  LRU lane reuse, per-lane warm backend + executor, pools shared via one
+  :class:`~repro.engine.PoolRegistry`), so **incompatible micro-batches
+  run concurrently** instead of serializing behind one worker;
+* **ordered commit stage** — lanes only run the compute stages; every
+  request's admission then passes through a single commit thread that
+  reconciles results in **global arrival order**, so session stores grow
+  exactly as they would under one lane (and bit-identically to serial
+  :func:`~repro.engine.run_generation` calls — the load-bearing
+  determinism invariant, lane count notwithstanding);
 * **streaming results** — each request's proposal is streamed back as
   :class:`~repro.engine.CandidateBatch` chunks, followed by the final
   :class:`~repro.engine.GenerationBatch`;
-* **session-scoped libraries** — requests that name a session admit into
-  that session's store (see :mod:`repro.service.session`); admissions are
-  merged one request at a time in **arrival order** on the single worker
-  thread, and sessions checkpoint with
-  :func:`repro.library.save_library` between batches.
-
-All engine work runs on one dedicated worker thread, keeping the event
-loop free for queueing/streaming and making cycle execution — and
-therefore session-store growth — sequential and deterministic for a
-fixed submission order.
+* **per-stage latency histograms** — every request's ``queue``,
+  ``gather``, ``model``, ``drc`` and ``admit`` latencies are filed into
+  :class:`~repro.service.stats.StageLatencies` histograms, globally and
+  per lane, exported by the ``op: "stats"`` TCP verb so lane saturation
+  is visible rather than guessed (see ``docs/SERVING.md``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import heapq
+import os
+import queue as queue_module
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import AsyncIterator
 
 import numpy as np
 
 from ..engine import (
-    BatchExecutor,
     CandidateBatch,
     ExecutionPlan,
-    ExecutorConfig,
     GenerationBatch,
     GenerationRequest,
-    GeneratorBackend,
     StageTimings,
-    deck_key,
     get_backend,
 )
+from .lanes import Lane, LaneManager
 from .scheduler import MicroBatch, MicroBatchScheduler, PendingRequest, SchedulerConfig
 from .session import SessionConfig, SessionManager
+from .stats import LaneStats, StageLatencies
 
 __all__ = ["ServiceConfig", "ServiceStats", "ResultStream", "GenerationService"]
 
 _DONE = object()  # chunk-queue sentinel: no more chunks
+_COMMIT_STOP = object()  # commit-queue sentinel: flush and exit
+
+#: Environment override for the default lane count (``ServiceConfig.lanes``
+#: left unset).  CI smoke jobs use it to exercise the multi-lane path.
+LANES_ENV = "REPRO_SERVICE_LANES"
 
 
 def _split_by_share(total: int, sizes: list[int]) -> list[int]:
@@ -80,15 +90,34 @@ def _split_by_share(total: int, sizes: list[int]) -> list[int]:
     return out
 
 
+def _default_lanes() -> int:
+    """The lane count when the config leaves it unset: env var or 1."""
+    raw = os.environ.get(LANES_ENV)
+    if raw is None or not raw.strip():
+        return 1
+    try:
+        lanes = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{LANES_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    return lanes
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Service-level knobs.
 
     ``queue_size`` bounds the request queue (submission awaits when
-    full).  ``jobs``/``pool``/``model_jobs`` configure the shared
+    full).  ``jobs``/``pool``/``model_jobs`` configure the per-lane
     executors exactly like :func:`repro.engine.run_generation`'s
     parameters, so a service-served request is bit-identical to a serial
-    one.  ``stream_chunk`` is the number of candidates per streamed
+    one.  ``lanes`` is the worker-lane count: micro-batches with
+    different compatibility keys run concurrently on up to ``lanes``
+    threads, while admissions stay globally arrival-ordered through the
+    commit stage — lane count changes wall-clock, never outputs.  Left
+    unset (``None``) it resolves from ``$REPRO_SERVICE_LANES``, else 1.
+    ``stream_chunk`` is the number of candidates per streamed
     :class:`~repro.engine.CandidateBatch` chunk.  ``pack_models``
     enables cross-request model-batch packing for micro-batches whose
     backend supports it (``pack_jobs``/``pack_model_fn``); packing only
@@ -101,6 +130,7 @@ class ServiceConfig:
     jobs: int = 1
     pool: str = "thread"
     model_jobs: int = 1
+    lanes: int | None = None
     stream_chunk: int = 32
     pack_models: bool = True
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
@@ -113,21 +143,31 @@ class ServiceConfig:
             raise ValueError("jobs and model_jobs must be positive")
         if self.stream_chunk < 1:
             raise ValueError("stream_chunk must be positive")
+        if self.lanes is None:
+            object.__setattr__(self, "lanes", _default_lanes())
+        if self.lanes < 1:
+            raise ValueError("lanes must be positive")
 
 
 @dataclass
 class ServiceStats:
-    """Lifetime counters plus two gauges.
+    """Lifetime counters, gauges, and the per-stage latency histograms.
 
-    Counters are cumulative and read-mostly (mutated on the worker
-    thread, except ``submitted`` on the loop thread).  The two gauges
-    describe the *current* state rather than history: ``queue_depth`` is
-    the requests still waiting when the latest cycle was dispatched, and
-    ``last_pack_fill`` is the packed-model-batch fill ratio of the
-    latest cycle (packed jobs / packed slots; 0.0 when the cycle packed
-    nothing).  Both are exported over the wire by the ``op: "stats"``
-    verb (see ``docs/SERVING.md``) so a load balancer can see saturation
-    and packing efficiency without scraping logs.
+    Counters are cumulative; cross-thread increments are serialized by
+    the service's stats lock.  The gauges describe *current* state
+    rather than history: ``queue_depth`` is the submit-queue depth when
+    the latest cycle was dispatched (per-lane backlogs live in
+    ``lanes[*].depth`` — one global gauge would lie once lanes exist),
+    and ``last_pack_fill`` is the fill ratio of the latest packed model
+    stage (packed jobs / packed slots; 0.0 until something packs).
+
+    ``stages`` holds the service-wide per-stage latency histograms
+    (``queue``/``gather``/``model``/``drc``/``admit``) and ``lanes``
+    maps lane id to that lane's :class:`~repro.service.stats.LaneStats`
+    (its own counters, backlog gauge and stage histograms).  All of it
+    is exported over the wire by the ``op: "stats"`` verb (see
+    ``docs/SERVING.md``) so a load balancer can see saturation per lane
+    without scraping logs.
     """
 
     submitted: int = 0
@@ -140,8 +180,26 @@ class ServiceStats:
     packed_batches: int = 0  # shared model batches dispatched
     packed_jobs: int = 0  # sampling jobs served through packed batches
     packed_fallbacks: int = 0  # packed stages that fell back to per-request
-    last_pack_fill: float = 0.0  # gauge: latest cycle's packed fill ratio
-    queue_depth: int = 0  # gauge: queued requests at latest cycle dispatch
+    last_pack_fill: float = 0.0  # gauge: latest packed stage's fill ratio
+    queue_depth: int = 0  # gauge: submit-queue depth at latest cycle dispatch
+    stages: StageLatencies = field(default_factory=StageLatencies)
+    lanes: dict[int, LaneStats] = field(default_factory=dict)
+
+
+@dataclass(order=True)
+class _CommitToken:
+    """One request's entry in the ordered commit stage.
+
+    Lanes emit exactly one token per request they were handed —
+    ``ready`` carries the staged results awaiting admission, ``None``
+    marks a request that already failed (its error was delivered on the
+    lane) and only needs its arrival slot released.  Tokens are ordered
+    by arrival index; the commit thread admits strictly in that order.
+    """
+
+    arrival: int
+    lane: "Lane | None" = field(compare=False, default=None)
+    ready: "tuple | None" = field(compare=False, default=None)
 
 
 class ResultStream:
@@ -254,21 +312,22 @@ class GenerationService:
         self.sessions = session_manager or SessionManager(self.config.sessions)
         self.stats = ServiceStats()
         self._backend_factory = backend_factory
-        # Long-lived engine state, shared across requests: one backend per
-        # (name, deck) and one executor (warm pools + DRC cache) per deck.
-        self._backends: dict[tuple, GeneratorBackend] = {}
-        self._executors: dict[tuple, BatchExecutor] = {}
-        self._state_lock = threading.Lock()
+        self.lanes: LaneManager | None = None
+        self._stats_lock = threading.Lock()
         self._queue: asyncio.Queue[PendingRequest] | None = None
         self._task: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
-        self._worker: ThreadPoolExecutor | None = None
         self._submit_lock: asyncio.Lock | None = None
         self._arrival = 0
-        # Per-cycle packing tallies (worker thread only) feeding the
-        # ``last_pack_fill`` gauge.
-        self._cycle_packed_jobs = 0
-        self._cycle_packed_slots = 0
+        # Ordered commit stage: lanes push one token per request; the
+        # commit thread admits strictly by arrival index.
+        self._commit_queue: queue_module.Queue | None = None
+        self._commit_thread: threading.Thread | None = None
+        # Dispatch backpressure: requests handed to lanes but not yet
+        # committed; the gather loop pauses above the in-flight limit.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._dispatch_event: asyncio.Event | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -279,31 +338,65 @@ class GenerationService:
 
     @property
     def queue_depth(self) -> int:
-        """Requests currently waiting in the queue."""
+        """Requests currently waiting in the global submit queue."""
         return self._queue.qsize() if self._queue is not None else 0
 
+    def queue_depths(self) -> dict:
+        """Everything queued anywhere: the submit queue plus lane backlogs.
+
+        ``{"submit": N, "in_flight": M, "lanes": {lane_id: depth}}`` —
+        ``submit`` is the global bounded queue, ``lanes`` the per-lane
+        backlogs (dispatched, not yet finished by the lane), and
+        ``in_flight`` the dispatched-but-uncommitted total.  One number
+        would lie under lanes; three tell the saturation story.
+        """
+        with self._stats_lock:
+            lanes = {
+                lane_id: stats.depth
+                for lane_id, stats in self.stats.lanes.items()
+            }
+        return {
+            "submit": self.queue_depth,
+            "in_flight": self._inflight,
+            "lanes": lanes,
+        }
+
     async def start(self) -> "GenerationService":
-        """Start the scheduler loop (idempotent)."""
+        """Start the scheduler loop, lanes and commit stage (idempotent)."""
         if self.running:
             return self
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.config.queue_size)
         self._submit_lock = asyncio.Lock()
-        # One worker thread: cycles run sequentially, so session merges
-        # follow submission order exactly.
-        self._worker = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-service"
+        self._dispatch_event = asyncio.Event()
+        self._inflight = 0
+        cfg = self.config
+        self.stats.lanes.clear()
+        self.lanes = LaneManager(
+            cfg.lanes,
+            jobs=cfg.jobs,
+            pool=cfg.pool,
+            model_jobs=cfg.model_jobs,
+            backend_factory=self._backend_factory,
+            stats=self.stats.lanes,
         )
+        self._commit_queue = queue_module.Queue()
+        self._commit_thread = threading.Thread(
+            target=self._commit_loop, name="repro-service-commit", daemon=True
+        )
+        self._commit_thread.start()
         self._task = self._loop.create_task(self._run())
         return self
 
     async def stop(self, *, checkpoint: bool = True) -> None:
         """Drain and shut down (idempotent).
 
-        The in-flight cycle finishes (its streams resolve); requests
-        still queued fail with ``RuntimeError``.  Sessions with snapshot
-        directories take a final checkpoint unless ``checkpoint=False``.
+        In-flight micro-batches finish on their lanes and commit (their
+        streams resolve); requests still queued fail with
+        ``RuntimeError``.  Sessions with snapshot directories take a
+        final checkpoint unless ``checkpoint=False``.
         """
+        loop = asyncio.get_running_loop()
         task, self._task = self._task, None
         if task is not None:
             task.cancel()
@@ -311,29 +404,25 @@ class GenerationService:
                 await task
             except asyncio.CancelledError:
                 pass
-        worker, self._worker = self._worker, None
-        if worker is not None:
-            # Blocks until the in-flight cycle (if any) completes.
-            await asyncio.get_running_loop().run_in_executor(
-                None, lambda: worker.shutdown(wait=True)
-            )
+        # Lanes drain first (every dispatched micro-batch emits its
+        # commit tokens), then the commit thread flushes and exits.
+        lanes, self.lanes = self.lanes, None
+        if lanes is not None:
+            await loop.run_in_executor(None, lanes.drain)
+        commit_thread, self._commit_thread = self._commit_thread, None
+        if commit_thread is not None:
+            self._commit_queue.put(_COMMIT_STOP)
+            await loop.run_in_executor(None, commit_thread.join)
+        self._commit_queue = None
         if self._queue is not None:
             while not self._queue.empty():
                 self._fail_pending(self._queue.get_nowait())
             self._queue = None
         if checkpoint:
             self.stats.checkpoints += len(self.sessions.checkpoint_all())
-        with self._state_lock:
-            executors = list(self._executors.values())
-            backends = list(self._backends.values())
-            self._executors.clear()
-            self._backends.clear()
-        for executor in executors:
-            executor.close()
-        for backend in backends:
-            close = getattr(backend, "close", None)
-            if callable(close):
-                close()
+        if lanes is not None:
+            # After the commit stage: admissions lease executor pools.
+            await loop.run_in_executor(None, lanes.close)
 
     async def __aenter__(self) -> "GenerationService":
         return await self.start()
@@ -361,7 +450,7 @@ class GenerationService:
         if session is not None:
             # Syntax-check the id here (bad ids fail the submit); the
             # store itself — possibly a large snapshot load — is
-            # materialised lazily on the worker thread, never on the
+            # materialised lazily on a lane thread, never on the
             # event loop.
             self.sessions.validate_id(session)
         stream = ResultStream(request, self._loop)
@@ -374,6 +463,7 @@ class GenerationService:
                 request=request,
                 session_id=session,
                 stream=stream,
+                submitted_at=time.perf_counter(),
             )
             self._arrival += 1
             await self._queue.put(pending)
@@ -391,22 +481,38 @@ class GenerationService:
     def _fail_pending(self, pending: PendingRequest) -> None:
         """Fail an undelivered request (loop thread; double-safe)."""
         if not pending.stream.done:
-            self.stats.failed += 1
+            with self._stats_lock:
+                self.stats.failed += 1
         pending.stream._deliver_error(
             RuntimeError("generation service stopped")
         )
 
+    def _dequeued(self, pending: PendingRequest) -> PendingRequest:
+        """Stamp a request as pulled off the submit queue (loop thread)."""
+        pending.dequeued_at = time.perf_counter()
+        return pending
+
     async def _run(self) -> None:
         assert self._queue is not None and self._loop is not None
         cfg = self.config.scheduler
+        # In-flight limit: dispatched-but-uncommitted requests.  Above
+        # it the gather loop pauses *before dequeuing* (dequeued
+        # requests are always dispatched promptly, so commit order can
+        # never deadlock against this backpressure).
+        limit = max(self.config.queue_size, cfg.max_batch_requests)
         while True:
             batch: list[PendingRequest] = []
             try:
-                batch.append(await self._queue.get())
+                while self._inflight >= limit:
+                    self._dispatch_event.clear()
+                    await self._dispatch_event.wait()
+                batch.append(self._dequeued(await self._queue.get()))
                 deadline = self._loop.time() + cfg.gather_window_s
                 while len(batch) < cfg.max_batch_requests:
                     try:
-                        batch.append(self._queue.get_nowait())
+                        batch.append(
+                            self._dequeued(self._queue.get_nowait())
+                        )
                         continue
                     except asyncio.QueueEmpty:
                         pass
@@ -415,138 +521,112 @@ class GenerationService:
                         break
                     try:
                         batch.append(
-                            await asyncio.wait_for(
-                                self._queue.get(), remaining
+                            self._dequeued(
+                                await asyncio.wait_for(
+                                    self._queue.get(), remaining
+                                )
                             )
                         )
                     except asyncio.TimeoutError:
                         break
             except asyncio.CancelledError:
                 # stop() cancelled us mid-gather: requests already pulled
-                # off the queue would otherwise never resolve.
+                # off the queue would otherwise never resolve.  They were
+                # never dispatched, so no commit tokens are owed.
                 for pending in batch:
                     self._fail_pending(pending)
                 raise
-            # compatibility_key() evaluates user-supplied fields (deck,
-            # params reprs); a poisoned request must fail alone — not
-            # its co-arriving neighbours, and never the scheduler loop.
-            healthy = []
-            for pending in batch:
-                try:
-                    pending.request.compatibility_key()
-                except Exception as error:  # noqa: BLE001 - bad fields
-                    if not pending.stream.done:
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[PendingRequest]) -> None:
+        """Route one gather window's requests onto lanes (loop thread)."""
+        # compatibility_key() evaluates user-supplied fields (deck,
+        # params reprs); a poisoned request must fail alone — not
+        # its co-arriving neighbours, and never the scheduler loop.
+        with self._inflight_lock:
+            self._inflight += len(batch)
+        healthy = []
+        for pending in batch:
+            try:
+                pending.request.compatibility_key()
+            except Exception as error:  # noqa: BLE001 - bad fields
+                if not pending.stream.done:
+                    with self._stats_lock:
                         self.stats.failed += 1
-                    pending.stream._deliver_error(error)
-                else:
-                    healthy.append(pending)
-            micro_batches = self.scheduler.coalesce(healthy)
-            # Queue-depth gauge: what is still waiting now that this
-            # cycle's requests have been pulled off the queue.
-            self.stats.queue_depth = self._queue.qsize()
-            # Once handed to the worker, a cancellation here no longer
-            # strands anything: the cycle runs to completion during
-            # stop()'s worker shutdown and resolves every stream.
-            await self._loop.run_in_executor(
-                self._worker, self._run_cycle, micro_batches
-            )
+                pending.stream._deliver_error(error)
+                # Release the arrival slot: the commit stage must not
+                # wait forever on a request no lane will ever serve.
+                self._commit_queue.put(_CommitToken(pending.arrival))
+            else:
+                healthy.append(pending)
+        micro_batches = self.scheduler.coalesce(healthy)
+        # Queue-depth gauge: what is still waiting now that this
+        # cycle's requests have been pulled off the queue.
+        self.stats.queue_depth = self._queue.qsize()
+        self.stats.cycles += 1
+        now = time.perf_counter()
+        for micro in micro_batches:
+            lane = self.lanes.lane_for(micro.key)
+            with self._stats_lock:
+                lane.stats.depth += len(micro)
+            for entry in micro.entries:
+                queued = max(0.0, entry.dequeued_at - entry.submitted_at)
+                gathered = max(0.0, now - entry.dequeued_at)
+                self.stats.stages.observe("queue", queued)
+                self.stats.stages.observe("gather", gathered)
+                lane.stats.stages.observe("queue", queued)
+                lane.stats.stages.observe("gather", gathered)
+            lane.submit(self._lane_serve, lane, micro)
 
     # ------------------------------------------------------------------
-    # Cycle execution (worker-thread side)
+    # Lane execution (lane-thread side)
     # ------------------------------------------------------------------
     def _publish(self, stream: ResultStream, method, payload) -> None:
         self._loop.call_soon_threadsafe(method.__get__(stream), payload)
 
-    def _backend_for(self, request: GenerationRequest) -> GeneratorBackend:
-        name, request_deck_key, _, _ = request.compatibility_key()
-        key = (name, request_deck_key)
-        with self._state_lock:
-            backend = self._backends.get(key)
-        if backend is None:
-            kwargs = {"deck": request.deck} if request.deck is not None else {}
-            cfg = self.config
-            backend = None
-            if cfg.jobs > 1 or cfg.model_jobs > 1:
-                # Backends that run their own executor for the serial
-                # model stage (e.g. PatternPaintBackend's pipeline)
-                # accept jobs/model_jobs; forward the service's worker
-                # config so a 1-request micro-batch samples with the
-                # same parallelism as everything else.  Worker counts
-                # never change seeded outputs (rng.spawn discipline),
-                # so this is purely a throughput knob.
-                try:
-                    backend = self._backend_factory(
-                        name, **kwargs, jobs=cfg.jobs,
-                        model_jobs=cfg.model_jobs,
-                    )
-                except TypeError:
-                    backend = None  # factory without tuning kwargs
-            if backend is None:
-                backend = self._backend_factory(name, **kwargs)
-            with self._state_lock:
-                backend = self._backends.setdefault(key, backend)
-        return backend
+    def _lane_serve(self, lane: Lane, micro: MicroBatch) -> None:
+        """Serve one micro-batch on its lane, then emit commit tokens.
 
-    def _executor_for(self, deck) -> BatchExecutor:
-        key = deck_key(deck)
-        with self._state_lock:
-            executor = self._executors.get(key)
-            if executor is None:
-                cfg = self.config
-                executor = BatchExecutor(
-                    deck.engine(),
-                    ExecutorConfig(
-                        jobs=cfg.jobs, pool=cfg.pool, model_jobs=cfg.model_jobs
-                    ),
-                )
-                self._executors[key] = executor
-            return executor
-
-    def _run_cycle(self, micro_batches: list[MicroBatch]) -> None:
-        """Serve one gather window's micro-batches (blocking).
-
-        Stages: per micro-batch — the model stage (packed across requests
-        when the backend supports it, else per request; either way every
-        request's own rng stream) then per-request denoise and one cached
-        DRC sweep over every candidate; then admissions for the whole
-        cycle in global arrival order, so session stores grow
-        deterministically no matter how requests were grouped.
+        Every request the micro-batch carried emits **exactly one**
+        token — ``ready`` results await ordered admission, failures
+        (already delivered on this thread) release their arrival slot —
+        so a crash anywhere in the lane stages can never stall the
+        commit order other lanes' requests are waiting on.
         """
-        self.stats.cycles += 1
-        self._cycle_packed_jobs = 0
-        self._cycle_packed_slots = 0
-        ready: list[tuple] = []
-        for micro in micro_batches:
+        t0 = time.perf_counter()
+        with self._stats_lock:
             self.stats.micro_batches += 1
-            self.stats.peak_coalesced = max(self.stats.peak_coalesced, len(micro))
-            ready.extend(self._run_micro_batch(micro))
-        self.stats.last_pack_fill = (
-            self._cycle_packed_jobs / self._cycle_packed_slots
-            if self._cycle_packed_slots
-            else 0.0
-        )
-
-        # Admission stage: strict arrival order across the whole cycle.
-        ready.sort(key=lambda item: item[0].arrival)
-        for pending, executor, plan, clips, legal, timings, hits, misses in ready:
-            try:
-                legal_clips = [c for c, ok in zip(clips, legal) if ok]
-                admitted = sum(executor.admit_batch(plan.library, legal_clips))
-                batch = executor.assemble(
-                    plan, clips, legal, admitted, timings,
-                    cache_hits=hits, cache_misses=misses,
+            self.stats.peak_coalesced = max(
+                self.stats.peak_coalesced, len(micro)
+            )
+            lane.stats.micro_batches += 1
+            lane.stats.requests += len(micro)
+        ready: list[tuple] = []
+        try:
+            ready = self._run_micro_batch(micro, lane)
+        except Exception as error:  # noqa: BLE001 - lane must survive
+            for pending in micro.entries:
+                if not pending.stream.done:
+                    with self._stats_lock:
+                        self.stats.failed += 1
+                        lane.stats.failures += 1
+                self._publish(
+                    pending.stream, ResultStream._deliver_error, error
                 )
-                if pending.session_id is not None:
-                    session = self.sessions.get(pending.session_id)
-                    if session.record_batch() is not None:
-                        self.stats.checkpoints += 1
-                # Count before publishing: a client that has seen the
-                # result must also see it reflected in the stats.
-                self.stats.completed += 1
-                self._publish(pending.stream, ResultStream._deliver_result, batch)
-            except Exception as error:  # noqa: BLE001 - surfaced per request
-                self.stats.failed += 1
-                self._publish(pending.stream, ResultStream._deliver_error, error)
+        finally:
+            with self._stats_lock:
+                lane.stats.busy_seconds += time.perf_counter() - t0
+                lane.stats.depth -= len(micro)
+            staged = {id(item[0]) for item in ready}
+            for item in ready:
+                self._commit_queue.put(
+                    _CommitToken(item[0].arrival, lane=lane, ready=item)
+                )
+            for pending in micro.entries:
+                if id(pending) not in staged:
+                    self._commit_queue.put(
+                        _CommitToken(pending.arrival, lane=lane)
+                    )
 
     def _packed_model_stage(self, executor, prepared):
         """Sample the micro-batch's model stages as shared packed batches.
@@ -600,7 +680,8 @@ class GenerationService:
         except Exception:  # noqa: BLE001 - packed stage is best-effort
             for _, plan in prepared:
                 plan.rng = plan.request.rng()
-            self.stats.packed_fallbacks += 1
+            with self._stats_lock:
+                self.stats.packed_fallbacks += 1
             return False
         for (pending, plan), (templates, _), raws, seconds in zip(
             prepared, job_lists, result.outputs, result.seconds
@@ -612,32 +693,35 @@ class GenerationService:
                 generate_seconds=seconds,
             )
             plan.generate_seconds = seconds
-        self.stats.packed_batches += len(result.plan.batches)
-        self.stats.packed_jobs += result.plan.packed_jobs
-        self._cycle_packed_jobs += result.plan.packed_jobs
-        self._cycle_packed_slots += result.plan.capacity * len(
-            result.plan.batches
-        )
+        with self._stats_lock:
+            self.stats.packed_batches += len(result.plan.batches)
+            self.stats.packed_jobs += result.plan.packed_jobs
+            slots = result.plan.capacity * len(result.plan.batches)
+            self.stats.last_pack_fill = (
+                result.plan.packed_jobs / slots if slots else 0.0
+            )
         return True
 
-    def _run_micro_batch(self, micro: MicroBatch):
+    def _run_micro_batch(self, micro: MicroBatch, lane: Lane):
         """Model stage (packed when possible) + denoise per request, then
-        one DRC sweep; no admission."""
+        one DRC sweep; no admission (the commit stage owns that)."""
         prepared: list[tuple[PendingRequest, ExecutionPlan]] = []
         executor = None
         for pending in micro.entries:
             request = pending.request
             try:
-                backend = self._backend_for(request)
+                backend = lane.backend_for(request)
                 deck = request.deck if request.deck is not None else backend.deck
-                executor = self._executor_for(deck)
+                executor = lane.executor_for(deck)
                 library = None
                 if pending.session_id is not None:
                     library = self.sessions.get(pending.session_id).store
                 plan = executor.plan(request, backend=backend, library=library)
                 prepared.append((pending, plan))
             except Exception as error:  # noqa: BLE001 - surfaced per request
-                self.stats.failed += 1
+                with self._stats_lock:
+                    self.stats.failed += 1
+                    lane.stats.failures += 1
                 self._publish(pending.stream, ResultStream._deliver_error, error)
         if not prepared:
             return []
@@ -651,6 +735,7 @@ class GenerationService:
         staged: list[tuple[PendingRequest, ExecutionPlan, list[np.ndarray], float]] = []
         for pending, plan in prepared:
             try:
+                t_model = time.perf_counter()
                 proposal = (
                     plan.proposal if packed else executor.execute(plan)
                 )
@@ -662,9 +747,19 @@ class GenerationService:
                 clips, denoise_seconds = executor.denoise_batch(
                     proposal.raws, proposal.templates, plan.rng
                 )
+                # Model-stage latency: sampling (attributed job share
+                # under packing) plus this request's denoise.
+                model_seconds = (
+                    plan.generate_seconds if packed
+                    else time.perf_counter() - t_model
+                ) + denoise_seconds
+                self.stats.stages.observe("model", model_seconds)
+                lane.stats.stages.observe("model", model_seconds)
                 staged.append((pending, plan, clips, denoise_seconds))
             except Exception as error:  # noqa: BLE001 - surfaced per request
-                self.stats.failed += 1
+                with self._stats_lock:
+                    self.stats.failed += 1
+                    lane.stats.failures += 1
                 self._publish(pending.stream, ResultStream._deliver_error, error)
         if not staged:
             return []
@@ -679,7 +774,9 @@ class GenerationService:
             legal_all, drc_seconds = executor.check_batch(all_clips)
         except Exception as error:  # noqa: BLE001 - fail the whole batch
             for pending, _, _, _ in staged:
-                self.stats.failed += 1
+                with self._stats_lock:
+                    self.stats.failed += 1
+                    lane.stats.failures += 1
                 self._publish(pending.stream, ResultStream._deliver_error, error)
             return []
         # Attribute the sweep's cache traffic by candidate share, so a
@@ -696,12 +793,105 @@ class GenerationService:
         ):
             legal = legal_all[offset:offset + len(clips)]
             offset += len(clips)
+            drc_share = drc_seconds * (len(clips) / total)
+            self.stats.stages.observe("drc", drc_share)
+            lane.stats.stages.observe("drc", drc_share)
             timings = StageTimings(
                 denoise_seconds=denoise_seconds,
                 # The shared sweep's cost, attributed by candidate share.
-                drc_seconds=drc_seconds * (len(clips) / total),
+                drc_seconds=drc_share,
             )
             out.append(
                 (pending, executor, plan, clips, legal, timings, hits, misses)
             )
         return out
+
+    # ------------------------------------------------------------------
+    # Ordered commit stage (commit-thread side)
+    # ------------------------------------------------------------------
+    def _commit_loop(self) -> None:
+        """Admit lane results strictly by arrival index.
+
+        Lanes finish out of order; this thread buffers their tokens in a
+        heap and only commits the next expected arrival, so session
+        stores grow in **global arrival order** — exactly as the
+        single-worker service admitted, whatever the lane count.  Every
+        dequeued request emits exactly one token (ready or skip), and
+        dequeueing itself is FIFO by arrival, so the expected index can
+        never be skipped over.  On shutdown (sentinel) any buffered
+        tokens flush in arrival order regardless of gaps.
+        """
+        heap: list[_CommitToken] = []
+        next_expected = 0
+        while True:
+            token = self._commit_queue.get()
+            if token is _COMMIT_STOP:
+                break
+            heapq.heappush(heap, token)
+            while heap and heap[0].arrival == next_expected:
+                next_expected += 1
+                self._commit_one(heapq.heappop(heap))
+        while heap:
+            self._commit_one(heapq.heappop(heap))
+
+    def _commit_one(self, token: _CommitToken) -> None:
+        """Admit one request's results (or release a failed slot)."""
+        released = False
+        try:
+            if token.ready is None:
+                return
+            pending, executor, plan, clips, legal, timings, hits, misses = (
+                token.ready
+            )
+            t0 = time.perf_counter()
+            batch, error = None, None
+            try:
+                legal_clips = [c for c, ok in zip(clips, legal) if ok]
+                admitted = sum(executor.admit_batch(plan.library, legal_clips))
+                batch = executor.assemble(
+                    plan, clips, legal, admitted, timings,
+                    cache_hits=hits, cache_misses=misses,
+                )
+                if pending.session_id is not None:
+                    session = self.sessions.get(pending.session_id)
+                    if session.record_batch() is not None:
+                        with self._stats_lock:
+                            self.stats.checkpoints += 1
+            except Exception as err:  # noqa: BLE001 - surfaced per request
+                error = err
+            # Count, observe and release the in-flight slot before
+            # publishing: a client that has seen its result must also
+            # see it reflected in the stats and gauges.
+            admit_seconds = time.perf_counter() - t0
+            self.stats.stages.observe("admit", admit_seconds)
+            if token.lane is not None:
+                token.lane.stats.stages.observe("admit", admit_seconds)
+            if error is None:
+                with self._stats_lock:
+                    self.stats.completed += 1
+            else:
+                with self._stats_lock:
+                    self.stats.failed += 1
+                    if token.lane is not None:
+                        token.lane.stats.failures += 1
+            released = True
+            self._committed()
+            if error is None:
+                self._publish(pending.stream, ResultStream._deliver_result, batch)
+            else:
+                self._publish(pending.stream, ResultStream._deliver_error, error)
+        finally:
+            if not released:
+                self._committed()
+
+    def _committed(self) -> None:
+        """Release one in-flight slot and wake a paused gather loop."""
+        with self._inflight_lock:
+            self._inflight -= 1
+        loop, event = self._loop, self._dispatch_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:  # loop already closed (late shutdown)
+            pass

@@ -1,0 +1,172 @@
+"""Per-stage latency histograms and per-lane serving telemetry.
+
+The service answers "where does a request's time go, and which lane is
+saturated" with numbers rather than guesses:
+
+* :class:`LatencyHistogram` — a fixed, log-spaced latency histogram
+  (seconds in, milliseconds out).  Buckets double from 100 µs up to
+  ~200 s plus one overflow bucket, so any serving latency lands in a
+  bucket without per-request allocation; percentiles are read from the
+  bucket boundaries (upper-bound estimates, exact count/total);
+* :class:`StageLatencies` — one histogram per pipeline stage
+  (:data:`STAGES`: ``queue``, ``gather``, ``model``, ``drc``,
+  ``admit``);
+* :class:`LaneStats` — one worker lane's counters, gauges and stage
+  histograms.
+
+The service keeps one global :class:`StageLatencies` plus one
+:class:`LaneStats` per lane in :class:`~repro.service.ServiceStats`;
+the ``op: "stats"`` TCP verb exports both as JSON (see
+``docs/SERVING.md`` for the wire format).  All classes are thread-safe
+for observation: the loop thread records queue/gather, lane threads
+record model/drc, and the commit thread records admit.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = ["STAGES", "LatencyHistogram", "StageLatencies", "LaneStats"]
+
+#: The five serving stages a request passes through, in pipeline order:
+#: time waiting in the submit queue, time held by the gather window,
+#: model sampling + per-request denoise on a lane, the lane's attributed
+#: share of the shared DRC sweep, and the ordered admission/commit stage.
+STAGES = ("queue", "gather", "model", "drc", "admit")
+
+#: Log-spaced bucket upper bounds in seconds: 100 µs doubling to ~210 s.
+#: Observations above the last bound land in one overflow bucket.
+_BOUNDS = tuple(0.0001 * (2.0 ** i) for i in range(22))
+
+
+class LatencyHistogram:
+    """Thread-safe log-bucketed latency histogram (fixed memory).
+
+    ``observe`` files one latency (seconds) into the first bucket whose
+    upper bound contains it.  Percentiles are *upper-bound estimates*:
+    :meth:`percentile` returns the boundary of the bucket the requested
+    quantile falls in, so a reported p95 is a guaranteed ceiling at the
+    histogram's (factor-of-two) resolution.  ``count``/``total_seconds``
+    /``max_seconds`` are exact.
+    """
+
+    __slots__ = ("_counts", "_lock", "count", "total_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(_BOUNDS) + 1)  # +1: overflow bucket
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """File one latency observation (negative clamps to zero)."""
+        seconds = max(0.0, float(seconds))
+        index = bisect_left(_BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total_seconds += seconds
+            self.max_seconds = max(self.max_seconds, seconds)
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-th percentile, in seconds."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q / 100.0 * self.count
+            cumulative = 0
+            for index, bucket in enumerate(self._counts):
+                cumulative += bucket
+                if cumulative >= rank and bucket:
+                    if index < len(_BOUNDS):
+                        return min(_BOUNDS[index], self.max_seconds)
+                    return self.max_seconds  # overflow bucket
+            return self.max_seconds
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: exact counters plus the non-empty buckets.
+
+        ``buckets`` is a list of ``[le_ms, count]`` pairs — the bucket's
+        inclusive upper bound in milliseconds (``null`` for the overflow
+        bucket) and its observation count — omitting empty buckets so
+        the wire payload stays small.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            count = self.count
+            total = self.total_seconds
+            peak = self.max_seconds
+        buckets = [
+            [round(_BOUNDS[i] * 1e3, 4) if i < len(_BOUNDS) else None, n]
+            for i, n in enumerate(counts)
+            if n
+        ]
+        return {
+            "count": count,
+            "total_ms": round(total * 1e3, 3),
+            "mean_ms": round(total / count * 1e3, 3) if count else 0.0,
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p95_ms": round(self.percentile(95) * 1e3, 3),
+            "max_ms": round(peak * 1e3, 3),
+            "buckets": buckets,
+        }
+
+
+class StageLatencies:
+    """One :class:`LatencyHistogram` per serving stage (see :data:`STAGES`)."""
+
+    __slots__ = ("_stages",)
+
+    def __init__(self) -> None:
+        self._stages = {stage: LatencyHistogram() for stage in STAGES}
+
+    def observe(self, stage: str, seconds: float) -> None:
+        self._stages[stage].observe(seconds)
+
+    def __getitem__(self, stage: str) -> LatencyHistogram:
+        return self._stages[stage]
+
+    def snapshot(self) -> dict:
+        """``{stage: histogram snapshot}`` for every stage, always all five."""
+        return {stage: hist.snapshot() for stage, hist in self._stages.items()}
+
+
+@dataclass
+class LaneStats:
+    """One worker lane's serving telemetry.
+
+    ``depth`` is a gauge: requests dispatched to the lane and not yet
+    finished by it (its private backlog — the per-lane half of the
+    queue-depth story; the global submit queue is the other half).
+    ``busy_seconds`` accumulates wall-clock spent serving micro-batches,
+    so ``busy_seconds / uptime`` is the lane's utilisation.  ``keys`` is
+    the number of compatibility keys currently routed to the lane.
+    ``stages`` holds the lane's share of the per-stage histograms.
+    """
+
+    lane_id: int
+    micro_batches: int = 0
+    requests: int = 0
+    failures: int = 0
+    busy_seconds: float = 0.0
+    depth: int = 0
+    keys: int = 0
+    stages: StageLatencies = field(default_factory=StageLatencies)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view, as exported by the ``op: "stats"`` verb."""
+        return {
+            "lane": self.lane_id,
+            "micro_batches": self.micro_batches,
+            "requests": self.requests,
+            "failures": self.failures,
+            "busy_s": round(self.busy_seconds, 4),
+            "depth": self.depth,
+            "keys": self.keys,
+            "stages": self.stages.snapshot(),
+        }

@@ -340,3 +340,109 @@ class TestRunGeneration:
         assert batch.legality_rate == 1.0
         assert len(batch.library) <= 5
         assert batch.timings.total_seconds > 0.0
+
+
+class TestSharedPoolRegistry:
+    """Tentpole: one PoolRegistry backing several executors (worker lanes)."""
+
+    def test_executors_share_one_pool_per_shape(self, deck):
+        from repro.engine import PoolRegistry
+
+        registry = PoolRegistry()
+        first = BatchExecutor(
+            deck.engine(), ExecutorConfig(jobs=2, pool="thread"),
+            pools=registry,
+        )
+        second = BatchExecutor(
+            deck.engine(), ExecutorConfig(jobs=2, pool="thread"),
+            pools=registry,
+        )
+        raws = [np.zeros((32, 32), dtype=np.float32) for _ in range(4)]
+        first.denoise_batch(raws, [None] * 4, np.random.default_rng(0))
+        second.denoise_batch(raws, [None] * 4, np.random.default_rng(0))
+        assert len(registry) == 1  # one ("thread", 2) pool between them
+        lease = registry[("thread", 2)]
+        assert registry.get(("thread", 2)) is lease
+        registry.close()
+        assert not registry
+
+    def test_executor_close_leaves_shared_registry_alone(self, deck):
+        from repro.engine import PoolRegistry
+
+        registry = PoolRegistry()
+        executor = BatchExecutor(
+            deck.engine(), ExecutorConfig(jobs=2, pool="thread"),
+            pools=registry,
+        )
+        raws = [np.zeros((32, 32), dtype=np.float32) for _ in range(4)]
+        executor.denoise_batch(raws, [None] * 4, np.random.default_rng(0))
+        executor.close()  # shared registry: must NOT shut the pool down
+        assert ("thread", 2) in registry
+        # The pool is still usable by another lease after the close.
+        clips, _ = executor.denoise_batch(
+            raws, [None] * 4, np.random.default_rng(0)
+        )
+        assert len(clips) == 4
+        registry.close()
+
+    def test_owned_registry_still_closed_by_executor(self, deck):
+        executor = BatchExecutor(
+            deck.engine(), ExecutorConfig(jobs=2, pool="thread")
+        )
+        raws = [np.zeros((32, 32), dtype=np.float32) for _ in range(4)]
+        executor.denoise_batch(raws, [None] * 4, np.random.default_rng(0))
+        assert executor.pools
+        executor.close()
+        assert not executor.pools
+
+    def test_concurrent_executors_on_shared_pools_match_serial(self, deck):
+        """Two threads driving two executors over one registry produce
+        the same clips as the serial single-executor path."""
+        from repro.engine import PoolRegistry
+
+        rng_seed = 7
+        raws = [
+            np.random.default_rng(rng_seed + i).uniform(
+                -1, 1, (32, 32)
+            ).astype(np.float32)
+            for i in range(8)
+        ]
+        serial = BatchExecutor(deck.engine(), ExecutorConfig(jobs=2))
+        want, _ = serial.denoise_batch(
+            raws, [None] * 8, np.random.default_rng(0)
+        )
+        serial.close()
+
+        registry = PoolRegistry()
+        results: dict[int, list] = {}
+
+        def worker(idx):
+            executor = BatchExecutor(
+                deck.engine(), ExecutorConfig(jobs=2), pools=registry
+            )
+            clips, _ = executor.denoise_batch(
+                raws, [None] * 8, np.random.default_rng(0)
+            )
+            results[idx] = clips
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        registry.close()
+        for clips in results.values():
+            assert len(clips) == len(want)
+            for a, b in zip(want, clips):
+                np.testing.assert_array_equal(a, b)
+
+    def test_close_racing_leased_stage_is_safe(self, deck):
+        from repro.engine import PoolRegistry
+
+        registry = PoolRegistry()
+        with registry.lease("thread", 2) as pool:
+            registry.close()  # retires the leased pool instead of killing it
+            assert pool.submit(lambda: 41 + 1).result() == 42
+        assert not registry  # the last lessee shut it down on release

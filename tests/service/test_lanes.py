@@ -1,0 +1,324 @@
+"""Worker lanes: routing, determinism across lane counts, crash isolation,
+arrival-ordered cross-lane admissions, and the per-stage histograms."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.library import PatternLibrary
+from repro.drc import advanced_deck
+from repro.engine import GenerationRequest, get_backend, run_generation
+from repro.geometry import Grid
+from repro.service import (
+    STAGES,
+    LaneManager,
+    SchedulerConfig,
+    ServiceClient,
+    ServiceConfig,
+)
+
+GRID = Grid(nm_per_px=16.0, width_px=32, height_px=32)
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return advanced_deck(GRID)
+
+
+def _mixed_requests(deck, *, keys=3, per_key=2, count=4, base_seed=0):
+    """Requests spanning ``keys`` compatibility keys (distinct params)."""
+    return [
+        GenerationRequest(
+            backend="rule", count=count, seed=base_seed + 10 * k + j,
+            deck=deck, params={"variant": k},
+        )
+        for k in range(keys)
+        for j in range(per_key)
+    ]
+
+
+def _assert_batches_identical(a, b):
+    assert a.attempts == b.attempts
+    assert len(a.clips) == len(b.clips)
+    for x, y in zip(a.clips, b.clips):
+        np.testing.assert_array_equal(x, y)
+    np.testing.assert_array_equal(a.legal, b.legal)
+    assert a.admitted == b.admitted
+
+
+class TestLaneManagerRouting:
+    def _manager(self, count, **kwargs):
+        return LaneManager(count, backend_factory=get_backend, **kwargs)
+
+    def test_sticky_key_keeps_its_lane(self):
+        manager = self._manager(2)
+        try:
+            first = manager.lane_for(("a",))
+            for _ in range(5):
+                assert manager.lane_for(("a",)) is first
+        finally:
+            manager.close()
+
+    def test_distinct_keys_spread_across_lanes(self):
+        manager = self._manager(3)
+        try:
+            lanes = {manager.lane_for((name,)).lane_id for name in "abc"}
+            assert lanes == {0, 1, 2}
+        finally:
+            manager.close()
+
+    def test_new_key_claims_least_recently_used_lane(self):
+        manager = self._manager(2)
+        try:
+            lane_a = manager.lane_for(("a",))
+            lane_b = manager.lane_for(("b",))
+            manager.lane_for(("a",))  # lane_b is now the LRU lane
+            assert manager.lane_for(("c",)) is lane_b
+            # "a" stayed sticky through the claim.
+            assert manager.lane_for(("a",)) is lane_a
+        finally:
+            manager.close()
+
+    def test_key_map_is_lru_bounded(self):
+        manager = self._manager(1, max_keys=2)
+        try:
+            for name in "abc":
+                manager.lane_for((name,))
+            assignments = manager.assignments()
+            assert len(assignments) == 2
+            assert ("a",) not in assignments  # oldest mapping evicted
+            assert manager.lanes[0].stats.keys == 2
+        finally:
+            manager.close()
+
+    def test_more_keys_than_lanes_share(self):
+        manager = self._manager(2)
+        try:
+            lanes = [manager.lane_for((name,)).lane_id for name in "abcd"]
+            assert set(lanes) == {0, 1}
+        finally:
+            manager.close()
+
+    def test_lane_count_validation(self):
+        with pytest.raises(ValueError):
+            LaneManager(0, backend_factory=get_backend)
+
+
+class TestLaneDeterminism:
+    """Acceptance: served output bit-identical to serial for lanes 1/2/4."""
+
+    @pytest.mark.parametrize("lanes", [1, 2, 4])
+    def test_mixed_keys_bit_identical_to_serial(self, deck, lanes):
+        requests = _mixed_requests(deck, keys=3, per_key=2, base_seed=100)
+        serial = [run_generation(request) for request in requests]
+        config = ServiceConfig(
+            lanes=lanes,
+            scheduler=SchedulerConfig(gather_window_s=0.02),
+        )
+        with ServiceClient(config) as client:
+            served = client.generate_many(requests)
+            stats = client.service.stats
+        for reference, got in zip(serial, served):
+            _assert_batches_identical(reference, got)
+        assert len(stats.lanes) == lanes
+        if lanes > 1:
+            assert sum(
+                1 for lane in stats.lanes.values() if lane.micro_batches
+            ) > 1, "mixed keys never spread across lanes"
+
+    def test_pooled_lanes_bit_identical_to_serial(self, deck):
+        # jobs>1 executors sharing one PoolRegistry across lanes.
+        requests = _mixed_requests(
+            deck, keys=2, per_key=2, count=5, base_seed=200
+        )
+        serial = [run_generation(request) for request in requests]
+        config = ServiceConfig(
+            lanes=2, jobs=3,
+            scheduler=SchedulerConfig(gather_window_s=0.02),
+        )
+        with ServiceClient(config) as client:
+            served = client.generate_many(requests)
+        for reference, got in zip(serial, served):
+            _assert_batches_identical(reference, got)
+
+    def test_threaded_clients_bit_identical_to_serial(self, deck):
+        requests = _mixed_requests(
+            deck, keys=4, per_key=2, count=3, base_seed=300
+        )
+        serial = [run_generation(request) for request in requests]
+        results = [None] * len(requests)
+        with ServiceClient(ServiceConfig(lanes=4)) as client:
+            def worker(i):
+                results[i] = client.generate(requests[i])
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(requests))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for reference, got in zip(serial, results):
+            _assert_batches_identical(reference, got)
+
+    def test_cross_lane_session_admissions_in_arrival_order(self, deck):
+        """The ordered commit stage: lanes finish out of order, but the
+        session store must grow exactly like a serial loop."""
+        requests = _mixed_requests(
+            deck, keys=3, per_key=2, count=4, base_seed=400
+        )
+        reference = PatternLibrary(name="ref")
+        for request in requests:
+            run_generation(request, library=reference)
+
+        for trial in range(2):
+            config = ServiceConfig(
+                lanes=3,
+                scheduler=SchedulerConfig(gather_window_s=0.02),
+            )
+            with ServiceClient(config) as client:
+                client.generate_many(requests, session="tenant")
+                store = client.service.sessions.get("tenant").store
+            assert len(store) == len(reference)
+            for a, b in zip(reference, store):
+                np.testing.assert_array_equal(a, b)
+
+
+class TestLaneCrashIsolation:
+    def test_lane_crash_spares_other_lanes_and_admission_order(self, deck):
+        """A backend blowing up on its own lane must fail only its
+        requests; co-arriving keys on other lanes still serve, and the
+        session store still matches the serial reference of the
+        surviving requests in arrival order."""
+        from repro.engine import register_backend
+
+        class ExplodingBackend:
+            name = "test-lane-bomb"
+
+            def __init__(self, deck=None):
+                self._deck = deck
+
+            @property
+            def deck(self):
+                return self._deck
+
+            def propose(self, request, rng):
+                raise RuntimeError("lane bomb")
+
+        register_backend("test-lane-bomb", ExplodingBackend, overwrite=True)
+        good = _mixed_requests(deck, keys=2, per_key=2, count=4, base_seed=500)
+        bad = [
+            GenerationRequest(backend="test-lane-bomb", count=1, deck=deck)
+            for _ in range(2)
+        ]
+        # Interleave: good, bad, good, bad, good, good (arrival order).
+        submissions = [good[0], bad[0], good[1], bad[1], good[2], good[3]]
+        reference = PatternLibrary(name="ref")
+        for request in good:
+            run_generation(request, library=reference)
+
+        config = ServiceConfig(
+            lanes=3,
+            scheduler=SchedulerConfig(gather_window_s=0.05),
+        )
+        with ServiceClient(config) as client:
+            tickets = [
+                client.submit(request, session="t") for request in submissions
+            ]
+            outcomes = []
+            for request, ticket in zip(submissions, tickets):
+                if request.backend == "test-lane-bomb":
+                    with pytest.raises(RuntimeError, match="lane bomb"):
+                        ticket.result(timeout=60)
+                else:
+                    outcomes.append(ticket.result(timeout=60))
+            stats = client.service.stats
+            store = client.service.sessions.get("t").store
+            assert len(store) == len(reference)
+            for a, b in zip(reference, store):
+                np.testing.assert_array_equal(a, b)
+        assert stats.failed == len(bad)
+        assert stats.completed == len(good)
+        assert sum(lane.failures for lane in stats.lanes.values()) == len(bad)
+
+    def test_service_survives_crash_for_later_requests(self, deck):
+        from repro.engine import register_backend
+
+        class ExplodingBackend:
+            name = "test-lane-bomb"
+
+            def __init__(self, deck=None):
+                self._deck = deck
+
+            @property
+            def deck(self):
+                return self._deck
+
+            def propose(self, request, rng):
+                raise RuntimeError("lane bomb")
+
+        register_backend("test-lane-bomb", ExplodingBackend, overwrite=True)
+        with ServiceClient(ServiceConfig(lanes=2)) as client:
+            bomb = client.submit(
+                GenerationRequest(backend="test-lane-bomb", count=1, deck=deck)
+            )
+            with pytest.raises(RuntimeError, match="lane bomb"):
+                bomb.result(timeout=60)
+            # The crashed lane's thread and the commit stage both
+            # survived: later requests (any key) still serve.
+            after = client.generate(
+                GenerationRequest(backend="rule", count=3, seed=9, deck=deck),
+                timeout=60,
+            )
+            assert after.legal_count == 3
+
+
+class TestLaneTelemetry:
+    def test_stage_histograms_cover_every_request(self, deck):
+        requests = _mixed_requests(deck, keys=2, per_key=2, base_seed=600)
+        with ServiceClient(ServiceConfig(lanes=2)) as client:
+            client.generate_many(requests)
+            stats = client.service.stats
+            depths = client.service.queue_depths()
+        n = len(requests)
+        for stage in STAGES:
+            assert stats.stages[stage].count == n, stage
+        lane_totals = {
+            stage: sum(
+                lane.stages[stage].count for lane in stats.lanes.values()
+            )
+            for stage in STAGES
+        }
+        assert lane_totals == {stage: n for stage in STAGES}
+        assert sum(lane.requests for lane in stats.lanes.values()) == n
+        assert all(lane.depth == 0 for lane in stats.lanes.values())
+        assert all(
+            lane.busy_seconds >= 0.0 for lane in stats.lanes.values()
+        )
+        # The queue-depth story: global submit queue + per-lane backlogs.
+        assert depths["submit"] == 0
+        assert depths["in_flight"] == 0
+        assert set(depths["lanes"]) == set(stats.lanes)
+
+    def test_lanes_env_var_sets_default(self, deck, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_LANES", "3")
+        config = ServiceConfig()
+        assert config.lanes == 3
+        # An explicit value wins over the environment.
+        assert ServiceConfig(lanes=1).lanes == 1
+        with ServiceClient(config) as client:
+            client.generate(
+                GenerationRequest(backend="rule", count=2, deck=deck)
+            )
+            assert len(client.service.stats.lanes) == 3
+
+    def test_invalid_lanes_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_LANES", "many")
+        with pytest.raises(ValueError, match="REPRO_SERVICE_LANES"):
+            ServiceConfig()
+
+    def test_lane_count_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(lanes=0)

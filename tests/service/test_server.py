@@ -125,6 +125,25 @@ class TestProtocol:
         # stay untouched rather than miscounting.
         assert stats["packed_jobs"] == 0
         assert stats["packed_fallbacks"] == 0
+        # Worker-lane telemetry rides the same verb: per-stage latency
+        # histograms (all five stages) plus one snapshot per lane.
+        assert stats["lane_count"] >= 1
+        assert set(stats["stages"]) == {
+            "queue", "gather", "model", "drc", "admit"
+        }
+        # The stats op may be answered while cycles are still in flight,
+        # so only structural invariants hold here (per-stage counts are
+        # asserted on a drained service in test_lanes.py).
+        for histogram in stats["stages"].values():
+            assert histogram["p50_ms"] <= histogram["p95_ms"]
+            assert sum(n_ for _, n_ in histogram["buckets"]) == (
+                histogram["count"]
+            )
+        assert len(stats["lanes"]) == stats["lane_count"]
+        lane = stats["lanes"][0]
+        assert lane["lane"] == 0
+        assert set(stats["stages"]) == set(lane["stages"])
+        assert sum(entry["requests"] for entry in stats["lanes"]) <= n
 
 
 class TestErrors:
