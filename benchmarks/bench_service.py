@@ -533,6 +533,19 @@ def write_artifact(walls, latencies, stats, lane_walls, lane_stats,
             "num_steps": LANE_STEPS,
             "image_size": LANE_UNET.image_size,
             "lane_count": LANE_KEYS,
+            # Host shape the lane speedup was measured on: core count
+            # plus the BLAS/OMP thread pinning in effect (unset vars
+            # reported as None), so runs on different machines compare
+            # like against like.
+            "cpus": os.cpu_count(),
+            "thread_env": {
+                name: os.environ.get(name)
+                for name in (
+                    "OPENBLAS_NUM_THREADS",
+                    "OMP_NUM_THREADS",
+                    "MKL_NUM_THREADS",
+                )
+            },
             "single_lane_wall_seconds": round(lane_walls[1], 4),
             "multi_lane_wall_seconds": round(lane_walls[LANE_KEYS], 4),
             "speedup_vs_single_lane": round(

@@ -67,6 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "across runs (loaded before generation, saved "
                           "after; stale files from edited decks are "
                           "ignored automatically)")
+    gen.add_argument("--exec-mode", default="auto",
+                     choices=["auto", "serial", "pooled", "packed"],
+                     help="model-stage dispatch: 'auto' lets the "
+                          "self-tuning executor pick per micro-batch; "
+                          "forcing a mode never changes outputs "
+                          "($REPRO_EXEC_MODE overrides 'auto')")
+    gen.add_argument("--tuner-dir", default=None, metavar="DIR",
+                     help="persist the executor tuner's cost model and the "
+                          "sampler-plan warm cache here across runs "
+                          "(default: --drc-cache-dir when given)")
 
     drc = sub.add_parser("drc", help="run DRC over a clip library")
     drc.add_argument("library", help=".npz produced by 'generate' or the API")
@@ -139,6 +149,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the content-hash DRC verdict cache "
                             "here across server runs (loaded at startup, "
                             "saved at shutdown)")
+    serve.add_argument("--exec-mode", default="auto",
+                       choices=["auto", "serial", "pooled", "packed"],
+                       help="model-stage dispatch policy shared by every "
+                            "lane: 'auto' lets the self-tuning executor "
+                            "pick per micro-batch; forcing a mode never "
+                            "changes outputs ($REPRO_EXEC_MODE overrides "
+                            "'auto')")
+    serve.add_argument("--tuner-dir", default=None, metavar="DIR",
+                       help="persist the executor tuner's cost model and "
+                            "the sampler-plan warm cache here across "
+                            "server runs (default: --drc-cache-dir when "
+                            "given)")
 
     lib = sub.add_parser(
         "library", help="inspect / merge sharded library snapshots"
@@ -186,11 +208,32 @@ def _cmd_generate(args) -> int:
 
     deck = deck_by_name(args.deck, EXPERIMENT_GRID)
     model_jobs = args.model_jobs if args.model_jobs is not None else args.jobs
+
+    # Self-tuning executor: one shared tuner covers the backend's own
+    # pipeline and the engine-level stages; --tuner-dir (default: the DRC
+    # cache dir) persists its cost model and enables the sampler-plan
+    # warm cache, so a second run starts with measurements and plans.
+    from .engine import ExecutionTuner
+
+    tuner_dir = args.tuner_dir if args.tuner_dir else args.drc_cache_dir
+    tuner = ExecutionTuner(store_dir=tuner_dir)
+    if tuner_dir:
+        from .diffusion.plan import configure_plan_cache
+
+        configure_plan_cache(tuner_dir)
+        if tuner.loaded:
+            print(f"tuner: loaded {tuner.loaded} workload entries "
+                  f"from {tuner_dir}")
+
     backend_kwargs = {"deck": deck}
     if args.backend == "patternpaint":
         # Reach the model stage itself: the patternpaint backend runs its
-        # own pipeline/executor, so worker counts plumb through here.
-        backend_kwargs.update(jobs=args.jobs, model_jobs=model_jobs)
+        # own pipeline/executor, so worker counts, the dispatch mode and
+        # the shared tuner plumb through here.
+        backend_kwargs.update(
+            jobs=args.jobs, model_jobs=model_jobs,
+            exec_mode=args.exec_mode, tuner=tuner,
+        )
     try:
         backend = get_backend(args.backend, **backend_kwargs)
     except ValueError as error:
@@ -235,6 +278,8 @@ def _cmd_generate(args) -> int:
             model_jobs=model_jobs,
             backend=backend,
             library=store,
+            exec_mode=args.exec_mode,
+            tuner=tuner,
         )
     finally:
         # Backends that own a pipeline (patternpaint) hold worker pools;
@@ -246,6 +291,8 @@ def _cmd_generate(args) -> int:
             from .drc.cache import save_shared_caches
 
             save_shared_caches(args.drc_cache_dir)
+        if tuner_dir:
+            tuner.save()
     # Only this run's admissions go to --out; the snapshot dir keeps all.
     clips = list(batch.library.clips[preloaded:])
     if args.library_dir:
@@ -344,6 +391,10 @@ def _cmd_serve(args) -> int:
         ),
         lanes=args.lanes,
         pack_models=not args.no_pack,
+        exec_mode=args.exec_mode,
+        tuner_dir=(
+            args.tuner_dir if args.tuner_dir else args.drc_cache_dir
+        ),
         scheduler=SchedulerConfig(
             max_batch_requests=args.max_batch,
             gather_window_s=args.gather_window_ms / 1000.0,

@@ -49,12 +49,22 @@ from .request import (
     StageTimings,
     deck_key,
 )
+from .tuner import (
+    EXEC_MODE_ENV,
+    EXEC_MODES,
+    ExecutionTuner,
+    TunerDecision,
+    resolve_exec_mode,
+)
 
 __all__ = [
     "BatchExecutor",
     "CandidateBatch",
     "ChunkRef",
+    "EXEC_MODES",
+    "EXEC_MODE_ENV",
     "ExecutionPlan",
+    "ExecutionTuner",
     "ExecutorConfig",
     "GenerationBatch",
     "GenerationRequest",
@@ -65,11 +75,13 @@ __all__ = [
     "PoolRegistry",
     "PostprocessResult",
     "StageTimings",
+    "TunerDecision",
     "deck_key",
     "get_backend",
     "is_registered",
     "list_backends",
     "pack_chunks",
     "register_backend",
+    "resolve_exec_mode",
     "run_generation",
 ]

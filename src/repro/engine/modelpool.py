@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -34,7 +35,9 @@ __all__ = [
     "InpaintModelSpec",
     "inpaint_jobs",
     "inpaint_jobs_packed",
+    "model_cache_stats",
     "publish_model",
+    "reset_model_cache_stats",
     "run_inpaint_chunk",
     "run_inpaint_packed_batch",
 ]
@@ -139,6 +142,25 @@ def _model_cache_dir() -> Path:
     return root
 
 
+# Warm-start accounting for the checkpoint store: a publish that found
+# its content-addressed file already on disk is a *hit* (the serialize
+# pass was skipped entirely), a fresh write is a *miss*.
+_PUBLISH_LOCK = threading.Lock()
+_PUBLISH_STATS = {"hits": 0, "misses": 0}
+
+
+def model_cache_stats() -> dict:
+    """Checkpoint-store counters: publish hits (file reused) vs misses."""
+    with _PUBLISH_LOCK:
+        return dict(_PUBLISH_STATS)
+
+
+def reset_model_cache_stats() -> None:
+    """Zero the publish counters (benches/tests measure one phase)."""
+    with _PUBLISH_LOCK:
+        _PUBLISH_STATS.update(hits=0, misses=0)
+
+
 def _prune_cache(root: Path, keep: Path) -> None:
     """Drop the oldest cached checkpoints beyond the retention cap."""
     try:
@@ -172,10 +194,14 @@ def publish_model(model: TimeUnet, directory: "str | Path | None" = None) -> str
     path = root / f"unet-{digest.hexdigest()}.npz"
     if path.exists():
         os.utime(path)  # keep actively used checkpoints newest
+        with _PUBLISH_LOCK:
+            _PUBLISH_STATS["hits"] += 1
     else:
         tmp = path.with_suffix(f".tmp-{os.getpid()}.npz")
         save_module(model, tmp, meta={"unet": asdict(model.config)})
         os.replace(tmp, path)
+        with _PUBLISH_LOCK:
+            _PUBLISH_STATS["misses"] += 1
     _prune_cache(root, keep=path)
     return str(path)
 

@@ -31,7 +31,9 @@ from __future__ import annotations
 import asyncio
 import json
 
+from ..diffusion.plan import plan_cache_stats
 from ..engine import GenerationRequest
+from ..engine.modelpool import model_cache_stats
 from .service import GenerationService, ResultStream
 
 __all__ = ["serve", "handle_connection"]
@@ -153,6 +155,25 @@ async def handle_connection(
                         "packed_fallbacks": stats.packed_fallbacks,
                         "pack_fill": round(stats.last_pack_fill, 4),
                         "lane_count": len(stats.lanes),
+                        # Self-tuning executor: per-mode decision counts
+                        # (explore = tuner-store miss, exploit = store
+                        # hit) plus the shared tuner's store state, and
+                        # the warm-start cache hit/miss counters.
+                        "tuner": {
+                            "decisions": dict(stats.tuner_decisions),
+                            "explores": stats.tuner_explores,
+                            "exploits": stats.tuner_exploits,
+                            "forced": stats.tuner_forced,
+                            "exec_mode": service.config.exec_mode,
+                            "store": (
+                                service.tuner.snapshot()
+                                if service.tuner is not None else None
+                            ),
+                        },
+                        "warm_caches": {
+                            "sampler_plan": plan_cache_stats(),
+                            "checkpoints": model_cache_stats(),
+                        },
                         # Per-stage latency histograms (queue/gather/
                         # model/drc/admit), service-wide and per lane;
                         # see docs/SERVING.md for the bucket format.

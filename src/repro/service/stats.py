@@ -88,6 +88,33 @@ class LatencyHistogram:
                     return self.max_seconds  # overflow bucket
             return self.max_seconds
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        Bucket counts add, ``count``/``total_seconds`` add and
+        ``max_seconds`` takes the larger peak — exactly what observing
+        the union of both histograms' samples would have produced, up to
+        bucket resolution.  ``other`` is snapshotted under its own lock
+        first (and left untouched), so merging is safe while either side
+        is still observing; merging a histogram into itself is a no-op
+        rather than a self-deadlock.  Merging an empty histogram changes
+        nothing.  The aggregation primitive for rolling per-lane (or
+        per-process) histograms into fleet-wide ones.
+        """
+        if other is self:
+            return
+        with other._lock:
+            counts = list(other._counts)
+            count = other.count
+            total = other.total_seconds
+            peak = other.max_seconds
+        with self._lock:
+            for index, bucket in enumerate(counts):
+                self._counts[index] += bucket
+            self.count += count
+            self.total_seconds += total
+            self.max_seconds = max(self.max_seconds, peak)
+
     def snapshot(self) -> dict:
         """JSON-ready view: exact counters plus the non-empty buckets.
 
@@ -127,6 +154,11 @@ class StageLatencies:
 
     def observe(self, stage: str, seconds: float) -> None:
         self._stages[stage].observe(seconds)
+
+    def merge(self, other: "StageLatencies") -> None:
+        """Fold ``other``'s per-stage histograms into this one's."""
+        for stage in STAGES:
+            self._stages[stage].merge(other._stages[stage])
 
     def __getitem__(self, stage: str) -> LatencyHistogram:
         return self._stages[stage]

@@ -1,0 +1,199 @@
+"""The self-tuning executor's cost model (:mod:`repro.engine.tuner`).
+
+Covers mode resolution (config vs ``$REPRO_EXEC_MODE``), the
+explore/exploit policy, the persistent store's round-trip and its
+fingerprint staleness guard, and the restart warm-start: a fresh tuner
+over a populated store exploits from its very first decision.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import ExecutionTuner, ExecutorConfig, TunerDecision
+from repro.engine.tuner import (
+    EXEC_MODE_ENV,
+    EXEC_MODES,
+    pow2_bucket,
+    resolve_exec_mode,
+)
+
+SIG = ("model", "unet-abc", 32, 25, 2, 4)
+
+
+class TestResolveExecMode:
+    def test_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv(EXEC_MODE_ENV, raising=False)
+        assert resolve_exec_mode(None) == "auto"
+        assert resolve_exec_mode("auto") == "auto"
+
+    def test_explicit_config_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(EXEC_MODE_ENV, "pooled")
+        assert resolve_exec_mode("serial") == "serial"
+
+    def test_env_fills_in_when_config_is_auto(self, monkeypatch):
+        monkeypatch.setenv(EXEC_MODE_ENV, "packed")
+        assert resolve_exec_mode("auto") == "packed"
+        assert resolve_exec_mode(None) == "packed"
+
+    def test_env_is_case_insensitive_and_stripped(self, monkeypatch):
+        monkeypatch.setenv(EXEC_MODE_ENV, "  Serial ")
+        assert resolve_exec_mode(None) == "serial"
+
+    def test_blank_env_means_auto(self, monkeypatch):
+        monkeypatch.setenv(EXEC_MODE_ENV, "   ")
+        assert resolve_exec_mode(None) == "auto"
+
+    def test_bad_values_raise(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_exec_mode("turbo")
+        monkeypatch.setenv(EXEC_MODE_ENV, "turbo")
+        with pytest.raises(ValueError):
+            resolve_exec_mode(None)
+
+    def test_executor_config_validates_exec_mode(self):
+        for mode in EXEC_MODES:
+            assert ExecutorConfig(exec_mode=mode).exec_mode == mode
+        with pytest.raises(ValueError):
+            ExecutorConfig(exec_mode="warp")
+
+
+class TestPow2Bucket:
+    def test_rounds_up_to_powers_of_two(self):
+        assert [pow2_bucket(n) for n in (0, 1, 2, 3, 4, 5, 8, 9, 100)] == [
+            1, 1, 2, 4, 4, 8, 8, 16, 128,
+        ]
+
+
+class TestChoose:
+    def test_single_candidate_is_only(self):
+        tuner = ExecutionTuner()
+        decision = tuner.choose(SIG, ["serial"])
+        assert decision == TunerDecision("serial", "only", SIG)
+        assert not decision.explored and not decision.exploited
+
+    def test_cold_signature_explores_in_candidate_order(self):
+        tuner = ExecutionTuner()
+        first = tuner.choose(SIG, ["pooled", "serial"])
+        assert first.mode == "pooled" and first.explored  # legacy default
+        tuner.record(SIG, "pooled", 1.0, jobs=4)
+        second = tuner.choose(SIG, ["pooled", "serial"])
+        assert second.mode == "serial" and second.explored
+
+    def test_exploits_lowest_mean_per_job(self):
+        tuner = ExecutionTuner()
+        tuner.record(SIG, "pooled", 4.0, jobs=4)  # 1.0 s/job
+        tuner.record(SIG, "serial", 2.0, jobs=4)  # 0.5 s/job
+        decision = tuner.choose(SIG, ["pooled", "serial"])
+        assert decision.mode == "serial" and decision.exploited
+
+    def test_jobs_normalisation(self):
+        tuner = ExecutionTuner()
+        tuner.record(SIG, "pooled", 10.0, jobs=100)  # 0.1 s/job
+        tuner.record(SIG, "serial", 1.0, jobs=1)  # 1.0 s/job
+        assert tuner.choose(SIG, ["serial", "pooled"]).mode == "pooled"
+
+    def test_forced_mode_bypasses_the_model(self):
+        tuner = ExecutionTuner()
+        tuner.record(SIG, "serial", 0.1)
+        tuner.record(SIG, "pooled", 9.9)
+        decision = tuner.choose(
+            SIG, ["serial", "pooled"], requested="pooled"
+        )
+        assert decision.mode == "pooled" and decision.reason == "forced"
+
+    def test_unavailable_forced_mode_falls_back_to_auto(self):
+        tuner = ExecutionTuner()
+        decision = tuner.choose(SIG, ["serial"], requested="packed")
+        assert decision.mode == "serial" and decision.reason == "only"
+
+    def test_signatures_do_not_cross_pollinate(self):
+        other = ("model", "unet-def", 64, 25, 2, 4)
+        tuner = ExecutionTuner()
+        tuner.record(SIG, "pooled", 0.1)
+        tuner.record(SIG, "serial", 0.2)
+        assert tuner.choose(other, ["pooled", "serial"]).explored
+
+    def test_counters_and_last_decision(self):
+        tuner = ExecutionTuner()
+        tuner.choose(SIG, ["pooled", "serial"])  # explore
+        tuner.record(SIG, "pooled", 1.0)
+        tuner.record(SIG, "serial", 2.0)
+        tuner.choose(SIG, ["pooled", "serial"])  # exploit
+        tuner.choose(SIG, ["pooled", "serial"], requested="serial")
+        snap = tuner.snapshot()
+        assert snap["explores"] == 1
+        assert snap["exploits"] == 1
+        assert snap["forced"] == 1
+        assert snap["decisions"] == {"pooled": 2, "serial": 1}
+        assert tuner.last_decision.mode == "serial"
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError):
+            ExecutionTuner().choose(SIG, [])
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        tuner = ExecutionTuner(store_dir=tmp_path)
+        tuner.record(SIG, "pooled", 4.0, jobs=4)
+        tuner.record(SIG, "serial", 2.0, jobs=4)
+        assert tuner.save() == tmp_path / "tuner.json"
+
+        fresh = ExecutionTuner(store_dir=tmp_path)
+        assert fresh.loaded == 1
+        assert fresh.observations(SIG) == {
+            "pooled": (1, 1.0),
+            "serial": (1, 0.5),
+        }
+
+    def test_restart_exploits_immediately(self, tmp_path):
+        tuner = ExecutionTuner(store_dir=tmp_path)
+        tuner.record(SIG, "pooled", 4.0, jobs=4)
+        tuner.record(SIG, "serial", 2.0, jobs=4)
+        tuner.save()
+
+        fresh = ExecutionTuner(store_dir=tmp_path)
+        first = fresh.choose(SIG, ["pooled", "serial"])
+        # No re-exploration: the warm store picks the measured winner on
+        # the very first decision, a non-default choice.
+        assert first.mode == "serial" and first.exploited
+
+    def test_tampered_entry_is_skipped(self, tmp_path):
+        tuner = ExecutionTuner(store_dir=tmp_path)
+        tuner.record(SIG, "serial", 1.0)
+        path = tuner.save()
+
+        payload = json.loads(path.read_text())
+        (digest,) = payload["entries"]
+        payload["entries"][digest]["signature"][1] = "unet-evil"
+        path.write_text(json.dumps(payload))
+
+        fresh = ExecutionTuner(store_dir=tmp_path)
+        assert fresh.loaded == 0
+        assert fresh.observations(SIG) == {}
+
+    def test_garbage_and_wrong_format_files_load_nothing(self, tmp_path):
+        ExecutionTuner.store_path(tmp_path).write_text("{not json")
+        assert ExecutionTuner(store_dir=tmp_path).loaded == 0
+        ExecutionTuner.store_path(tmp_path).write_text(
+            json.dumps({"format": 99, "entries": {}})
+        )
+        assert ExecutionTuner(store_dir=tmp_path).loaded == 0
+
+    def test_missing_store_is_a_cold_start(self, tmp_path):
+        tuner = ExecutionTuner(store_dir=tmp_path / "nowhere")
+        assert tuner.loaded == 0 and len(tuner) == 0
+
+    def test_in_memory_measurements_win_over_disk(self, tmp_path):
+        stale = ExecutionTuner()
+        stale.record(SIG, "serial", 9.0)
+        stale.save(tmp_path)
+
+        tuner = ExecutionTuner()
+        tuner.record(SIG, "serial", 1.0)
+        assert tuner.load(tmp_path) == 0
+        assert tuner.observations(SIG)["serial"] == (1, 1.0)
+
+    def test_save_without_dir_is_memory_only(self):
+        assert ExecutionTuner().save() is None

@@ -125,6 +125,28 @@ class TestProtocol:
         # stay untouched rather than miscounting.
         assert stats["packed_jobs"] == 0
         assert stats["packed_fallbacks"] == 0
+        # Self-tuning executor telemetry rides the same verb: decision
+        # counters plus the shared tuner's store state, and both
+        # warm-start cache counter blocks.
+        tuner = stats["tuner"]
+        assert set(tuner) >= {
+            "decisions", "explores", "exploits", "forced", "exec_mode",
+            "store",
+        }
+        # The stats op may race ahead of the first dispatch cycle, so
+        # only structure holds here (decision counts are asserted on
+        # drained services in test_exec_modes.py).
+        assert all(
+            isinstance(count, int) and count >= 0
+            for count in tuner["decisions"].values()
+        )
+        assert tuner["store"]["store_entries"] >= 0
+        warm = stats["warm_caches"]
+        assert set(warm) == {"sampler_plan", "checkpoints"}
+        assert {"hits", "misses"} <= set(warm["checkpoints"])
+        assert {"hits", "misses", "writes", "dir"} <= set(
+            warm["sampler_plan"]
+        )
         # Worker-lane telemetry rides the same verb: per-stage latency
         # histograms (all five stages) plus one snapshot per lane.
         assert stats["lane_count"] >= 1
