@@ -161,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "the sampler-plan warm cache here across "
                             "server runs (default: --drc-cache-dir when "
                             "given)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="on SIGTERM/SIGINT, stop accepting requests "
+                            "and wait up to S seconds for in-flight work "
+                            "to finish before shutting down (0 skips the "
+                            "drain)")
 
     lib = sub.add_parser(
         "library", help="inspect / merge sharded library snapshots"
@@ -425,10 +431,41 @@ def _cmd_serve(args) -> int:
               f"lanes={config.lanes}, max-batch={args.max_batch})")
         print('protocol: one JSON object per line, e.g. '
               '{"backend": "rule", "count": 8, "seed": 0}')
+
+        # Graceful drain: SIGTERM (orchestrators) and SIGINT (Ctrl-C)
+        # both stop the accept loop, refuse new submissions and give
+        # in-flight requests --drain-timeout seconds to finish before
+        # the service stops and sessions checkpoint.  A second signal
+        # falls through to KeyboardInterrupt (immediate shutdown path).
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        hooked = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, shutdown.set)
+                hooked.append(sig)
+            except (NotImplementedError, ValueError, OSError):
+                pass  # platform without loop signal handlers
         try:
             async with server:
-                await server.serve_forever()
+                if hooked:
+                    await shutdown.wait()
+                    print("repro serve: draining "
+                          f"(timeout {args.drain_timeout:g}s)")
+                    server.close()
+                    await server.wait_closed()
+                    if args.drain_timeout > 0:
+                        drained = await service.drain(
+                            timeout=args.drain_timeout
+                        )
+                        if not drained:
+                            print("repro serve: drain timed out; failing "
+                                  "remaining requests")
+                else:
+                    await server.serve_forever()
         finally:
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
             await service.stop()
             if args.drc_cache_dir:
                 from .drc.cache import save_shared_caches
@@ -438,9 +475,10 @@ def _cmd_serve(args) -> int:
     import signal
 
     def _sigterm(signum, frame):
-        # An orchestrator's SIGTERM must take the same graceful path as
-        # Ctrl-C: stop the service, checkpoint sessions, save the DRC
-        # cache. The default action would kill the process mid-flight.
+        # Fallback for platforms where the event loop cannot hook
+        # signals: SIGTERM takes the same path as Ctrl-C — stop the
+        # service, checkpoint sessions, save the DRC cache.  The default
+        # action would kill the process mid-flight.
         raise KeyboardInterrupt
 
     try:
@@ -449,6 +487,7 @@ def _cmd_serve(args) -> int:
         pass  # not the main thread / unsupported platform
     try:
         asyncio.run(main())
+        print("repro serve: shut down")
     except KeyboardInterrupt:
         print("repro serve: shut down")
     return 0

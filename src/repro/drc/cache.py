@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -105,8 +106,11 @@ def save_shared_caches(root: str | Path) -> int:
             "entries": entries,
         }
         path = _cache_path(root, fingerprint)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload))
+        tmp = path.with_suffix(f".json.tmp-{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
         tmp.replace(path)
         written += 1
     return written

@@ -49,6 +49,12 @@ from .request import (
     StageTimings,
     deck_key,
 )
+from .retry import (
+    BreakerBoard,
+    CircuitBreaker,
+    RetryPolicy,
+    TransientError,
+)
 from .tuner import (
     EXEC_MODE_ENV,
     EXEC_MODES,
@@ -59,8 +65,10 @@ from .tuner import (
 
 __all__ = [
     "BatchExecutor",
+    "BreakerBoard",
     "CandidateBatch",
     "ChunkRef",
+    "CircuitBreaker",
     "EXEC_MODES",
     "EXEC_MODE_ENV",
     "ExecutionPlan",
@@ -74,7 +82,9 @@ __all__ = [
     "PackingPlan",
     "PoolRegistry",
     "PostprocessResult",
+    "RetryPolicy",
     "StageTimings",
+    "TransientError",
     "TunerDecision",
     "deck_key",
     "get_backend",

@@ -44,7 +44,13 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -64,6 +70,7 @@ from .modelpool import (
 )
 from .packing import PackingPlan, chunk_sizes, pack_chunks
 from .registry import GeneratorBackend, get_backend
+from .retry import BreakerBoard
 from .tuner import EXEC_MODES, ExecutionTuner, resolve_exec_mode
 from .request import (
     CandidateBatch,
@@ -81,6 +88,33 @@ __all__ = [
     "BatchExecutor",
     "run_generation",
 ]
+
+
+def _fault_action(site: str) -> "str | None":
+    """Consult the fault-injection harness for ``site`` (no-op without one).
+
+    Imported lazily: :mod:`repro.service.faults` depends on
+    :mod:`repro.engine.retry`, so the engine cannot import it at module
+    load without a cycle — and the engine must stay usable when the
+    service package is absent entirely.
+    """
+    try:
+        from ..service.faults import maybe_fire
+    except ImportError:  # pragma: no cover - service layer not installed
+        return None
+    return maybe_fire(site)
+
+
+def _supervised_fault_action(site: str) -> "str | None":
+    """Like :func:`_fault_action`, for sites whose failure is recovered
+    right here in the engine — marks the call as a protected region so
+    environment-scoped fault plans (``scope="protected"``) fire too."""
+    try:
+        from ..service.faults import maybe_fire, protected
+    except ImportError:  # pragma: no cover - service layer not installed
+        return None
+    with protected():
+        return maybe_fire(site)
 
 
 def _denoise_one(
@@ -122,11 +156,52 @@ class PoolRegistry:
     racing an active stage *retires* the pool (detaches it from the map)
     and the stage — the last lessee — shuts it down on release.  A
     closed registry lazily re-creates pools if leased again.
+
+    The registry is also the pool *supervisor*: when a stage observes a
+    dead pool (``BrokenProcessPool`` — its workers were killed),
+    :meth:`rebuild` retires the broken pool so the next lease creates a
+    fresh one, and the per-``(kind, workers)`` circuit breaker on
+    :attr:`breakers` records the failure.  A breaker that trips (too
+    many pool deaths inside its window) makes the executor degrade that
+    pool's stages to serial dispatch until the cooldown passes — which
+    is safe because every dispatch strategy is bit-identical.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, breakers: BreakerBoard | None = None) -> None:
         self._pools: dict[tuple[str, int], _PoolLease] = {}
         self._lock = threading.Lock()
+        #: One circuit breaker per (kind, workers) pool; consulted by the
+        #: executor's supervised pooled dispatch.
+        self.breakers = breakers if breakers is not None else BreakerBoard()
+        #: How many broken pools were replaced (telemetry for ``health``).
+        self.rebuilds = 0
+
+    def breaker(self, kind: str, workers: int):
+        """The circuit breaker guarding the ``(kind, workers)`` pool."""
+        return self.breakers.get((kind, workers))
+
+    def rebuild(self, kind: str, workers: int) -> bool:
+        """Retire the ``(kind, workers)`` pool so the next lease is fresh.
+
+        Called when a stage caught ``BrokenProcessPool``: the broken pool
+        is detached from the map (idle → shut down here without waiting,
+        its workers are already dead; still leased → the last lessee
+        shuts it down on release) and the next :meth:`lease` creates a
+        replacement.  Returns ``False`` when no such pool exists (someone
+        else already rebuilt it) — the failure still counts against the
+        breaker either way, at the call site.
+        """
+        key = (kind, workers)
+        with self._lock:
+            lease = self._pools.pop(key, None)
+            if lease is None:
+                return False
+            lease.retired = True
+            idle = lease.refs == 0
+            self.rebuilds += 1
+        if idle:
+            lease.pool.shutdown(wait=False)
+        return True
 
     @contextmanager
     def lease(self, kind: str, workers: int):
@@ -365,6 +440,40 @@ class BatchExecutor:
         """
         return self.pools.lease(kind, workers)
 
+    def _supervised_pooled(self, workers: int, dispatch: Callable):
+        """One pooled model-stage dispatch, supervised for worker death.
+
+        ``dispatch(pool)`` submits the stage's work and returns its
+        futures.  On ``BrokenProcessPool`` (the pool's workers died —
+        or the ``pool`` fault site injected exactly that) the registry
+        :meth:`~PoolRegistry.rebuild`\\ s the pool and the dispatch is
+        retried once on the replacement; the per-pool circuit breaker
+        counts each death, and while it is open (or once it trips here)
+        this returns ``None`` without dispatching — the caller falls
+        back to serial with the *same* spawned children, which is
+        bit-identical because pooled workers consume pickled rng copies,
+        never the parent's.  Returns ``(results, elapsed)`` on success.
+        """
+        breaker = self.pools.breaker("process", workers)
+        if not breaker.allow():
+            return None
+        for _attempt in range(2):
+            try:
+                with self._leased_pool("process", workers) as pool:
+                    t0 = time.perf_counter()
+                    if _supervised_fault_action("pool") == "crash":
+                        raise BrokenProcessPool("injected process-pool crash")
+                    futures = dispatch(pool)
+                    results = [future.result() for future in futures]
+                    elapsed = time.perf_counter() - t0
+                breaker.record_success()
+                return results, elapsed
+            except BrokenExecutor:
+                self.pools.rebuild("process", workers)
+                if breaker.record_failure():
+                    break
+        return None
+
     def close(self) -> None:
         """Shut down the owned pool registry (see :meth:`PoolRegistry.close`).
 
@@ -478,22 +587,29 @@ class BatchExecutor:
             signature, candidates, requested=self._requested_mode()
         )
         if decision.mode == "pooled":
-            with self._leased_pool("process", jobs) as pool:
-                t0 = time.perf_counter()
-                futures = [
+            dispatched = self._supervised_pooled(
+                jobs,
+                lambda pool: [
                     pool.submit(
                         run_inpaint_chunk, spec, templates[lo:hi],
                         masks[lo:hi], child
                     )
                     for (lo, hi), child in zip(chunks, children)
-                ]
-                for future in futures:
-                    outputs.extend(future.result())
-                elapsed = time.perf_counter() - t0
+                ],
+            )
+            if dispatched is not None:
+                results, elapsed = dispatched
+                for result in results:
+                    outputs.extend(result)
                 self.tuner.record(
                     signature, "pooled", elapsed, len(templates)
                 )
                 return outputs, elapsed
+            # Pooled dispatch unavailable (breaker open, or the pool
+            # died twice): degrade to the serial loop below with the
+            # SAME children — workers consume pickled rng copies, so
+            # the parent streams are untouched and degraded output is
+            # bit-identical to a healthy pooled run.
         seconds = 0.0
         for (lo, hi), child in zip(chunks, children):
             t0 = time.perf_counter()
@@ -601,23 +717,29 @@ class BatchExecutor:
                 seconds[ref.entry] += elapsed * (ref.jobs / total)
 
         jobs = min(self.config.model_jobs, len(packing.batches))
+        dispatched = None
         if spec is not None and jobs > 1:
-            with self._leased_pool("process", jobs) as pool:
-                t0 = time.perf_counter()
-                futures = [
+            # Supervised like run_model_batched: a dead pool is rebuilt
+            # and retried once; breaker-open or repeated death degrades
+            # to the serial loop below, bit-identically (the parent
+            # chunk rngs are never consumed by pooled workers).
+            dispatched = self._supervised_pooled(
+                jobs,
+                lambda pool: [
                     pool.submit(run_inpaint_packed_batch, spec, *segments(p))
                     for p in packing.batches
-                ]
-                results = [future.result() for future in futures]
-                elapsed = time.perf_counter() - t0
-                # Pooled batches overlap in time; attribute the shared
-                # wall clock to each batch by its job share.
-                for packed, outs in zip(packing.batches, results):
-                    record(
-                        packed,
-                        outs,
-                        elapsed * (packed.jobs / max(packing.packed_jobs, 1)),
-                    )
+                ],
+            )
+        if dispatched is not None:
+            results, elapsed = dispatched
+            # Pooled batches overlap in time; attribute the shared
+            # wall clock to each batch by its job share.
+            for packed, outs in zip(packing.batches, results):
+                record(
+                    packed,
+                    outs,
+                    elapsed * (packed.jobs / max(packing.packed_jobs, 1)),
+                )
         else:
             for packed in packing.batches:
                 t0 = time.perf_counter()
@@ -691,6 +813,7 @@ class BatchExecutor:
         With ``jobs > 1`` the engine sweeps uncached clips on this
         executor's persistent pool instead of spinning one up per call.
         """
+        _fault_action("drc")  # chaos hook: may raise InjectedFault
         t0 = time.perf_counter()
         if self.config.jobs > 1:
             with self._leased_pool(
@@ -829,6 +952,7 @@ class BatchExecutor:
         that owns a separate pipeline executor applies its own configured
         mode (the CLI and service forward one mode to both).
         """
+        _fault_action("model")  # chaos hook: may raise InjectedFault
         t0 = time.perf_counter()
         previous = self._plan_mode
         self._plan_mode = plan.exec_mode

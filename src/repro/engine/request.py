@@ -93,6 +93,12 @@ class GenerationRequest:
     params: Mapping[str, Any] = field(default_factory=dict)
     priority: int = 0
     request_id: str = ""
+    #: Service-level deadline in seconds from submission, or ``None``
+    #: for no deadline.  The service drops an expired request at the
+    #: next stage boundary with a ``DeadlineExceeded`` error; like
+    #: ``priority``/``request_id`` it never affects generated patterns
+    #: and does not participate in :meth:`compatibility_key`.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.backend, str) or not self.backend:
@@ -117,6 +123,18 @@ class GenerationRequest:
             if len(self.masks) == 0:
                 raise ValueError("masks must be non-empty when given")
             object.__setattr__(self, "masks", tuple(self.masks))
+        if self.deadline_s is not None:
+            if (
+                isinstance(self.deadline_s, bool)
+                or not isinstance(self.deadline_s, (int, float))
+                or not np.isfinite(self.deadline_s)
+                or self.deadline_s <= 0
+            ):
+                raise ValueError(
+                    f"deadline_s must be a positive number of seconds, "
+                    f"got {self.deadline_s!r}"
+                )
+            object.__setattr__(self, "deadline_s", float(self.deadline_s))
         if not self.request_id:
             object.__setattr__(self, "request_id", uuid.uuid4().hex[:12])
 

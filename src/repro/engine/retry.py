@@ -1,0 +1,257 @@
+"""Retry, backoff and circuit-breaking primitives for the serving stack.
+
+Three small, composable pieces:
+
+* :class:`RetryPolicy` — bounded retries with capped exponential backoff
+  and optional *deterministic* jitter: the caller supplies the
+  :class:`numpy.random.Generator` (typically derived from the request's
+  own seed), so two runs of the same request retry on the same schedule.
+  Only :attr:`~RetryPolicy.retryable` exception types are retried —
+  programming errors (``ValueError`` et al.) propagate immediately.
+* :class:`CircuitBreaker` — a failure-windowed breaker: ``threshold``
+  failures inside ``window_s`` open it for ``cooldown_s``; while open,
+  :meth:`~CircuitBreaker.allow` returns ``False`` so callers degrade
+  (the executor falls back to serial dispatch, which is bit-identical).
+  After the cooldown one trial is allowed through (half-open): success
+  closes the breaker, another failure re-opens it.
+* :class:`BreakerBoard` — a thread-safe keyed collection of breakers
+  (the :class:`~repro.engine.PoolRegistry` keys one per
+  ``(kind, workers)`` pool) with an aggregate snapshot for the service's
+  ``op: "health"`` verb.
+
+:class:`TransientError` is the marker base class for errors that are
+worth retrying by construction — the fault-injection harness's
+``InjectedFault`` (:mod:`repro.service.faults`) subclasses it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "TransientError",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+]
+
+
+class TransientError(RuntimeError):
+    """An error that is expected to succeed on retry (worker hiccup,
+    injected fault, racy resource) — the default retryable marker."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with capped exponential backoff and seeded jitter.
+
+    ``max_attempts`` counts *total* attempts (1 = no retries).  Attempt
+    ``k``'s backoff is ``min(backoff_cap_s, backoff_s * 2**k)``, scaled
+    by a jitter factor drawn uniformly from ``1 ± jitter`` when a
+    generator is supplied to :meth:`run` — pass one derived from the
+    request's seed and the whole retry schedule is deterministic.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.01
+    backoff_cap_s: float = 0.5
+    jitter: float = 0.25
+    retryable: tuple = field(
+        default=(TransientError, OSError, TimeoutError)
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        for exc in self.retryable:
+            if not (isinstance(exc, type) and issubclass(exc, BaseException)):
+                raise ValueError(
+                    f"retryable entries must be exception types, got {exc!r}"
+                )
+
+    def delay(
+        self, attempt: int, rng: "np.random.Generator | None" = None
+    ) -> float:
+        """Backoff before retry number ``attempt`` (0-based), in seconds."""
+        base = min(self.backoff_cap_s, self.backoff_s * (2.0 ** attempt))
+        if rng is not None and self.jitter > 0.0:
+            base *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return max(0.0, base)
+
+    def run(
+        self,
+        fn: Callable,
+        *,
+        rng: "np.random.Generator | None" = None,
+        on_retry: "Callable[[int, BaseException], None] | None" = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        """Call ``fn()`` under this policy; returns its result.
+
+        ``on_retry(attempt, error)`` runs before each retry (attempt is
+        1-based: the retry about to happen) — the service uses it to
+        re-seed a partially-consumed plan rng and count the retry.
+        Non-retryable errors, and the final retryable one, propagate.
+        """
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except self.retryable as error:
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt + 1, error)
+                pause = self.delay(attempt, rng)
+                if pause > 0.0:
+                    sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitBreaker:
+    """Failure-windowed breaker: closed -> open (cooldown) -> half-open.
+
+    ``threshold`` failures within ``window_s`` seconds trip the breaker
+    open for ``cooldown_s``; :meth:`allow` then returns ``False`` so the
+    caller takes its degraded path.  Once the cooldown elapses the next
+    caller is allowed through as a half-open trial: a success closes the
+    breaker (failure history cleared), a failure counts toward tripping
+    it again.  Thread-safe; ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window_s: float = 60.0,
+        cooldown_s: float = 30.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be positive")
+        if window_s <= 0 or cooldown_s <= 0:
+            raise ValueError("window_s and cooldown_s must be positive")
+        self.threshold = threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self.trips = 0
+        self._clock = clock
+        self._failures: deque[float] = deque()
+        self._open_until = 0.0
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        """True when a call may proceed (closed, or half-open trial)."""
+        with self._lock:
+            return self._clock() >= self._open_until
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this one tripped it open."""
+        now = self._clock()
+        with self._lock:
+            self._failures.append(now)
+            horizon = now - self.window_s
+            while self._failures and self._failures[0] < horizon:
+                self._failures.popleft()
+            if len(self._failures) >= self.threshold:
+                self._failures.clear()
+                self._open_until = now + self.cooldown_s
+                self.trips += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Close the breaker (clears the failure window and any cooldown)."""
+        with self._lock:
+            self._failures.clear()
+            self._open_until = 0.0
+
+    @property
+    def state(self) -> str:
+        """``"open"`` while the cooldown holds, else ``"closed"``."""
+        return "closed" if self.allow() else "open"
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            open_now = self._clock() < self._open_until
+            return {
+                "state": "open" if open_now else "closed",
+                "failures": len(self._failures),
+                "trips": self.trips,
+            }
+
+
+class BreakerBoard:
+    """A keyed, thread-safe collection of :class:`CircuitBreaker`\\ s.
+
+    Breakers are created on first :meth:`get` with the board's shared
+    parameters.  The :class:`~repro.engine.PoolRegistry` keys one per
+    ``(kind, workers)`` worker pool; :meth:`snapshot` renders them for
+    the service's ``op: "health"`` verb.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        window_s: float = 60.0,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.threshold = threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._breakers: dict[tuple, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.threshold,
+                    self.window_s,
+                    self.cooldown_s,
+                    clock=self._clock,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    @property
+    def trips(self) -> int:
+        """Total trips across every breaker on the board."""
+        with self._lock:
+            return sum(b.trips for b in self._breakers.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._breakers)
+
+    def snapshot(self) -> list[dict]:
+        """Per-breaker state, sorted by key — ``(kind, workers)`` keys
+        render as ``{"pool": kind, "workers": n, ...}`` entries."""
+        with self._lock:
+            items = sorted(self._breakers.items(), key=lambda kv: repr(kv[0]))
+        out = []
+        for key, breaker in items:
+            entry = breaker.snapshot()
+            if (
+                isinstance(key, tuple)
+                and len(key) == 2
+                and isinstance(key[0], str)
+            ):
+                entry.update(pool=key[0], workers=int(key[1]))
+            else:  # pragma: no cover - non-pool keys keep a raw label
+                entry.update(key=repr(key))
+            out.append(entry)
+        return out

@@ -315,7 +315,10 @@ class ExecutionTuner:
         }
         path = self.store_path(root)
         tmp = path.with_suffix(f".tmp-{os.getpid()}.json")
-        tmp.write_text(json.dumps(payload))
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
         tmp.replace(path)
         return path
 

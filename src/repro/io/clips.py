@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -13,18 +14,36 @@ __all__ = ["save_clips", "load_clips"]
 def save_clips(
     path: "str | Path", clips: list[np.ndarray], *, meta: dict | None = None
 ) -> Path:
-    """Save a clip list (uniform shape) with optional JSON metadata."""
+    """Save a clip list (uniform shape) with optional JSON metadata.
+
+    The archive is written atomically — to a temporary sibling first,
+    fsynced, then renamed over the destination — so a crash mid-write
+    (power loss, kill -9) leaves either the previous archive or none,
+    never a torn one.  Like ``np.savez``, a ``path`` without a ``.npz``
+    suffix gets one appended; the return value is ``path`` as given.
+    """
     if not clips:
         raise ValueError("refusing to save an empty clip library")
     stack = np.stack([np.asarray(c, dtype=np.uint8) for c in clips])
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
-        clips=np.packbits(stack, axis=-1),
-        shape=np.asarray(stack.shape, dtype=np.int64),
-        meta=np.frombuffer(json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8),
-    )
+    target = path if str(path).endswith(".npz") else path.with_name(path.name + ".npz")
+    tmp = target.with_name(f".tmp-{os.getpid()}-{target.name}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                clips=np.packbits(stack, axis=-1),
+                shape=np.asarray(stack.shape, dtype=np.int64),
+                meta=np.frombuffer(
+                    json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+                ),
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 

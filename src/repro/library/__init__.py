@@ -20,6 +20,7 @@ Everything that stores deduplicated DR-clean clips lives here:
 
 from .persist import (
     MANIFEST_NAME,
+    PREVIOUS_MANIFEST_NAME,
     ensure_snapshot_target,
     is_library_dir,
     load_library,
@@ -39,6 +40,7 @@ from .store import (
 
 __all__ = [
     "MANIFEST_NAME",
+    "PREVIOUS_MANIFEST_NAME",
     "InMemoryStore",
     "LibraryStore",
     "ShardDelta",

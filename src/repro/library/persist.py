@@ -2,9 +2,11 @@
 
 A saved library is a directory::
 
-    library.json        # manifest: name, shard count, clip count, files
-    shard-0000.npz      # repro.io clip archive + sequence/hash metadata
-    shard-0003.npz      # (empty shards are simply absent)
+    library.json             # manifest: name, shard count, clip count,
+                             # generation number, shard files
+    library.prev.json        # the previous generation's manifest
+    shard-000002-0000.npz    # repro.io clip archive + sequence/hash meta
+    shard-000002-0003.npz    # (empty shards are simply absent)
 
 Shard files are written with :func:`repro.io.clips.save_clips`, so each is
 itself a valid clip archive readable by ``repro drc`` / ``repro render``.
@@ -13,11 +15,23 @@ metadata, which makes loading order-exact and re-hash-free, and lets
 snapshots taken on different machines be merged deterministically
 (:func:`merge_libraries`): first source's order first, later sources
 contribute only patterns not yet seen, in their own insertion order.
+
+Snapshots are **crash-safe and generational**.  Every save writes a new
+generation's shard files (each atomically: tmp + fsync + rename), then
+promotes the old manifest to ``library.prev.json`` and atomically
+replaces ``library.json``; only after the new manifest is durable are
+the now-unreferenced older shard files pruned.  A crash at any point —
+including kill -9 mid shard write — therefore leaves either the new
+generation complete or the previous one intact, and
+:func:`load_library` falls back to the previous manifest when the
+current generation will not load (torn shard, corrupt manifest).  At
+most the single incomplete generation is ever lost.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -28,6 +42,7 @@ from .store import LibraryStore, ShardDelta, shard_of, store_delta
 
 __all__ = [
     "MANIFEST_NAME",
+    "PREVIOUS_MANIFEST_NAME",
     "ensure_snapshot_target",
     "save_library",
     "load_library",
@@ -37,16 +52,68 @@ __all__ = [
 ]
 
 MANIFEST_NAME = "library.json"
+PREVIOUS_MANIFEST_NAME = "library.prev.json"
 _FORMAT = 1
 
 
-def _shard_filename(shard: int) -> str:
-    return f"shard-{shard:04d}.npz"
+def _fault_action(site: str) -> "str | None":
+    """Consult the fault-injection harness (lazy import; see executor.py)."""
+    try:
+        from ..service.faults import maybe_fire
+    except ImportError:  # pragma: no cover - service layer not installed
+        return None
+    return maybe_fire(site)
+
+
+def _shard_filename(generation: int, shard: int) -> str:
+    return f"shard-{generation:06d}-{shard:04d}.npz"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` durably: tmp sibling + fsync + rename + dir fsync."""
+    tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    try:
+        fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+
+
+def _read_manifest(path: Path) -> "dict | None":
+    """Parse a manifest file; ``None`` when missing or unparseable."""
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return manifest if isinstance(manifest, dict) else None
+
+
+def _generation_of(manifest: "dict | None") -> int:
+    if manifest is None:
+        return 0
+    try:
+        return int(manifest.get("generation", 0))
+    except (TypeError, ValueError):
+        return 0
 
 
 def is_library_dir(path: "str | Path") -> bool:
-    """True when ``path`` holds a saved library snapshot."""
-    return (Path(path) / MANIFEST_NAME).is_file()
+    """True when ``path`` holds a saved library snapshot (any generation)."""
+    path = Path(path)
+    return (path / MANIFEST_NAME).is_file() or (
+        path / PREVIOUS_MANIFEST_NAME
+    ).is_file()
 
 
 def ensure_snapshot_target(path: "str | Path") -> Path:
@@ -75,19 +142,67 @@ def snapshot_count(path: "str | Path") -> int:
     return int(manifest.get("count", 0))
 
 
+def _prune_stale_files(path: Path) -> None:
+    """Delete shard files no manifest references, and orphaned tmp files.
+
+    Runs only after the new manifest is durable, so a crash before this
+    point merely leaves extra files (reclaimed by the next save) — it
+    never costs data.
+    """
+    referenced: set[str] = set()
+    for name in (MANIFEST_NAME, PREVIOUS_MANIFEST_NAME):
+        manifest = _read_manifest(path / name)
+        if manifest is not None:
+            shards = manifest.get("shards", {})
+            if isinstance(shards, dict):
+                referenced.update(str(filename) for filename in shards)
+    for file in path.glob("shard-*.npz"):
+        if file.name not in referenced:
+            file.unlink(missing_ok=True)
+    for file in path.glob(".tmp-*"):
+        file.unlink(missing_ok=True)
+
+
 def save_library(store: LibraryStore, path: "str | Path") -> Path:
-    """Write a store's contents as a sharded snapshot directory.
+    """Write a store's contents as a new snapshot generation at ``path``.
 
     The shard layout follows the store's own ``num_shards``; an existing
-    snapshot at ``path`` is replaced (see :func:`ensure_snapshot_target`
-    for what is refused).
+    snapshot at ``path`` is superseded, its manifest kept as
+    ``library.prev.json`` for one generation of load-time fallback (see
+    :func:`ensure_snapshot_target` for what is refused).  All writes are
+    atomic and the previous generation's files are only pruned after the
+    new manifest is durable, so a crash anywhere inside this call leaves
+    a loadable snapshot behind.
     """
     path = ensure_snapshot_target(path)
-    if path.exists():
-        for file in sorted(path.glob("shard-*.npz")):
-            file.unlink()
-    else:
-        path.mkdir(parents=True)
+    path.mkdir(parents=True, exist_ok=True)
+
+    manifest_path = path / MANIFEST_NAME
+    current = _read_manifest(manifest_path)
+    if current is None and not manifest_path.exists():
+        # Bootstrap stub: shard files must never exist without a
+        # manifest (ensure_snapshot_target would refuse the directory
+        # after a crash mid first save).  Generation 0 marks it as
+        # holding nothing worth promoting to a fallback.
+        current = {
+            "format": _FORMAT,
+            "name": store.name,
+            "num_shards": 1,
+            "count": 0,
+            "generation": 0,
+            "shards": {},
+        }
+        _atomic_write_text(
+            manifest_path, json.dumps(current, indent=2) + "\n"
+        )
+    previous = _read_manifest(path / PREVIOUS_MANIFEST_NAME)
+    generation = 1 + max(_generation_of(current), _generation_of(previous))
+
+    # Chaos hook: "raise" aborts here (nothing written), "crash" dies
+    # after the shard writes but before the manifest promotion, "torn"
+    # truncates a freshly-written shard — the kill -9 cases the
+    # generational fallback exists for.
+    action = _fault_action("snapshot")
 
     num_shards = max(1, getattr(store, "num_shards", 1))
     buckets: list[list[tuple[int, str, np.ndarray]]] = [
@@ -100,7 +215,7 @@ def save_library(store: LibraryStore, path: "str | Path") -> Path:
     for shard, bucket in enumerate(buckets):
         if not bucket:
             continue
-        filename = _shard_filename(shard)
+        filename = _shard_filename(generation, shard)
         save_clips(
             path / filename,
             [clip for _, _, clip in bucket],
@@ -113,22 +228,52 @@ def save_library(store: LibraryStore, path: "str | Path") -> Path:
         )
         shard_files[filename] = len(bucket)
 
+    if action == "crash":
+        from ..service.faults import InjectedFault
+
+        raise InjectedFault(
+            f"injected crash before manifest promotion (generation "
+            f"{generation})"
+        )
+    if action == "torn" and shard_files:
+        # Truncate the first shard in place: the manifest below will
+        # promise a generation whose data cannot load, exactly like a
+        # kill -9 on a filesystem that reordered the writes.
+        torn = path / next(iter(shard_files))
+        data = torn.read_bytes()
+        torn.write_bytes(data[: max(1, len(data) // 2)])
+
     manifest = {
         "format": _FORMAT,
         "name": store.name,
         "num_shards": num_shards,
         "count": len(store),
+        "generation": generation,
         "shards": shard_files,
     }
-    (path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    if _generation_of(current) > 0:
+        _atomic_write_text(
+            path / PREVIOUS_MANIFEST_NAME, json.dumps(current, indent=2) + "\n"
+        )
+    _atomic_write_text(manifest_path, json.dumps(manifest, indent=2) + "\n")
+    if action == "torn":
+        from ..service.faults import InjectedFault
+
+        raise InjectedFault(
+            f"injected torn shard write (generation {generation})"
+        )
+    _prune_stale_files(path)
     return path
 
 
-def _load_entries(path: Path) -> tuple[dict, list[tuple[int, str, np.ndarray]]]:
+def _load_entries(
+    path: Path, manifest_name: str = MANIFEST_NAME
+) -> tuple[dict, list[tuple[int, str, np.ndarray]]]:
     """Manifest plus (sequence, digest, clip) entries in insertion order."""
-    if not is_library_dir(path):
-        raise FileNotFoundError(f"no {MANIFEST_NAME} under {path}")
-    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest_path = path / manifest_name
+    if not manifest_path.is_file():
+        raise FileNotFoundError(f"no {manifest_name} under {path}")
+    manifest = json.loads(manifest_path.read_text())
     if manifest.get("format") != _FORMAT:
         raise ValueError(f"unsupported library format {manifest.get('format')!r}")
     entries: list[tuple[int, str, np.ndarray]] = []
@@ -155,9 +300,30 @@ def load_library(
     ``num_shards`` re-partitions on load (sharding is content-derived, so
     any shard count yields the same library); by default the snapshot's
     own layout is kept.
+
+    When the current generation will not load — a torn shard file from a
+    crash mid-checkpoint, a corrupt or lying manifest — and a previous
+    generation's manifest exists, that generation is loaded instead.
+    Only when every candidate fails does the *current* generation's
+    error propagate (``FileNotFoundError`` when no manifest exists at
+    all).
     """
     path = Path(path)
-    manifest, entries = _load_entries(path)
+    errors: list[Exception] = []
+    manifest = None
+    entries: list[tuple[int, str, np.ndarray]] = []
+    for manifest_name in (MANIFEST_NAME, PREVIOUS_MANIFEST_NAME):
+        if not (path / manifest_name).is_file():
+            continue
+        try:
+            manifest, entries = _load_entries(path, manifest_name)
+            break
+        except Exception as error:
+            errors.append(error)
+    if manifest is None:
+        if errors:
+            raise errors[0]
+        raise FileNotFoundError(f"no {MANIFEST_NAME} under {path}")
     store = ShardedStore(
         num_shards=num_shards or int(manifest["num_shards"]),
         name=name or manifest.get("name", "library"),

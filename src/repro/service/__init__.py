@@ -48,6 +48,19 @@ and telemetry; ``docs/ARCHITECTURE.md`` the determinism contract.
 """
 
 from .client import ClientTicket, ServiceClient
+from .faults import (
+    FAULT_ACTIONS,
+    FAULT_SITES,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    clear_faults,
+    injection_stats,
+    install_faults,
+    maybe_fire,
+)
 from .lanes import Lane, LaneManager
 from .scheduler import (
     MicroBatch,
@@ -57,7 +70,9 @@ from .scheduler import (
 )
 from .server import handle_connection, serve
 from .service import (
+    DeadlineExceeded,
     GenerationService,
+    RequestCancelled,
     ResultStream,
     ServiceConfig,
     ServiceStats,
@@ -66,10 +81,17 @@ from .session import SHARED_SESSION, Session, SessionConfig, SessionManager
 from .stats import STAGES, LaneStats, LatencyHistogram, StageLatencies
 
 __all__ = [
+    "FAULTS_ENV",
+    "FAULT_ACTIONS",
+    "FAULT_SITES",
     "SHARED_SESSION",
     "STAGES",
     "ClientTicket",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
     "GenerationService",
+    "InjectedFault",
     "Lane",
     "LaneManager",
     "LaneStats",
@@ -77,6 +99,7 @@ __all__ = [
     "MicroBatch",
     "MicroBatchScheduler",
     "PendingRequest",
+    "RequestCancelled",
     "ResultStream",
     "SchedulerConfig",
     "ServiceClient",
@@ -86,6 +109,11 @@ __all__ = [
     "SessionConfig",
     "SessionManager",
     "StageLatencies",
+    "active_plan",
+    "clear_faults",
     "handle_connection",
+    "injection_stats",
+    "install_faults",
+    "maybe_fire",
     "serve",
 ]

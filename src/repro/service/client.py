@@ -21,6 +21,7 @@ micro-batches — the in-process equivalent of N concurrent clients.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import threading
 from typing import Iterator, Sequence
 
@@ -33,13 +34,25 @@ __all__ = ["ClientTicket", "ServiceClient"]
 class ClientTicket:
     """Blocking view of one request's :class:`ResultStream`."""
 
-    def __init__(self, stream: ResultStream, loop: asyncio.AbstractEventLoop):
+    def __init__(
+        self,
+        stream: ResultStream,
+        loop: asyncio.AbstractEventLoop,
+        service: GenerationService | None = None,
+    ):
         self._stream = stream
         self._loop = loop
+        self._service = service
 
     @property
     def request_id(self) -> str:
         return self._stream.request_id
+
+    def cancel(self) -> bool:
+        """Ask the service to cancel this request at its next boundary."""
+        if self._service is None:
+            return False
+        return self._service.cancel(self.request_id)
 
     def chunks(self) -> Iterator[CandidateBatch]:
         """Iterate streamed chunks, blocking until each arrives."""
@@ -62,12 +75,32 @@ class ClientTicket:
 
         Works after the client is closed too: a stream the service
         resolved before shutdown still yields its result (or error).
+
+        On ``timeout`` the waiting coroutine is cancelled *and* the
+        request itself is cancelled service-side, so a caller that gave
+        up does not leave the request burning lane time (and the
+        abandoned awaiter does not leak on the loop).
         """
         if self._loop.is_closed():
             return self._stream.result_now()
-        return asyncio.run_coroutine_threadsafe(
+        future = asyncio.run_coroutine_threadsafe(
             self._stream.result(), self._loop
-        ).result(timeout)
+        )
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            # Since 3.11 this alias IS the builtin TimeoutError, so a
+            # request that *failed* with a timeout-flavoured error (e.g.
+            # DeadlineExceeded) lands here too — when the future is done
+            # it carried the request's own error: let it propagate.
+            if future.done():
+                raise
+            future.cancel()
+            self.cancel()
+            raise TimeoutError(
+                f"request {self.request_id} did not finish within "
+                f"{timeout:g}s (cancellation requested)"
+            ) from None
 
 
 class ServiceClient:
@@ -143,7 +176,7 @@ class ServiceClient:
         stream = asyncio.run_coroutine_threadsafe(
             self._service.submit(request, session=session), self._loop
         ).result()
-        return ClientTicket(stream, self._loop)
+        return ClientTicket(stream, self._loop, self._service)
 
     def generate(
         self,

@@ -73,6 +73,10 @@ class PendingRequest:
     ``Any`` to keep the scheduler import-light and testable standalone).
     ``submitted_at``/``dequeued_at`` are ``time.perf_counter()`` stamps
     feeding the service's ``queue``/``gather`` latency histograms.
+    ``deadline_at`` is the absolute ``perf_counter`` deadline derived
+    from the request's ``deadline_s`` at submission (``None`` = no
+    deadline); the service checks it at stage boundaries and fails the
+    request with ``DeadlineExceeded`` once passed.
     """
 
     arrival: int
@@ -81,6 +85,7 @@ class PendingRequest:
     stream: Any = None
     submitted_at: float = 0.0
     dequeued_at: float = 0.0
+    deadline_at: float | None = None
 
 
 @dataclass

@@ -8,8 +8,9 @@ request::
 
     {"backend": "rule", "count": 8, "seed": 3}
     {"backend": "rule", "count": 8, "deck": "basic", "session": "tenant-a",
-     "priority": 5, "params": {...}}
-    {"op": "ping"}          {"op": "stats"}
+     "priority": 5, "deadline_s": 2.5, "params": {...}}
+    {"op": "ping"}          {"op": "stats"}        {"op": "health"}
+    {"op": "cancel", "request_id": "..."}
 
 events (all carry ``request_id`` when tied to a request)::
 
@@ -17,6 +18,7 @@ events (all carry ``request_id`` when tied to a request)::
     {"event": "chunk",    "request_id": "...", "proposed": 8}
     {"event": "result",   "request_id": "...", "attempts": 8, "legal": 7,
      "admitted": 5, "library_size": 5, "seconds": 0.41}
+    {"event": "cancelled", "request_id": "...", "cancelled": true}
     {"event": "error",    "message": "..."}
 
 A connection may pipeline: every request line spawns a forwarder task, so
@@ -24,6 +26,18 @@ several requests stream back interleaved (demultiplex on ``request_id``).
 Clip payloads stay server-side by design — sessions persist them via the
 library snapshot machinery; the wire carries accounting, which is what a
 dispatching client needs.
+
+Failure semantics (see ``docs/SERVING.md``):
+
+* malformed frames — invalid JSON, a non-object line, a non-string
+  ``op``, an unknown op — get a structured ``error`` event and the
+  connection stays up;
+* a line longer than the stream limit (``serve(..., limit=...)``) gets
+  one ``error`` event and then the connection closes — the reader's
+  buffer is unrecoverable mid-line;
+* when the client disconnects, every request it submitted that has not
+  finished is cancelled (:meth:`GenerationService.cancel`), so an
+  abandoned connection cannot keep burning compute.
 """
 
 from __future__ import annotations
@@ -34,9 +48,15 @@ import json
 from ..diffusion.plan import plan_cache_stats
 from ..engine import GenerationRequest
 from ..engine.modelpool import model_cache_stats
+from .faults import injection_stats
 from .service import GenerationService, ResultStream
 
-__all__ = ["serve", "handle_connection"]
+__all__ = ["serve", "handle_connection", "DEFAULT_LINE_LIMIT"]
+
+#: Default per-line byte limit for the TCP front end.  Requests are
+#: accounting-sized (no clip payloads), so a line this long is a client
+#: bug or garbage on the port, not a legitimate frame.
+DEFAULT_LINE_LIMIT = 256 * 1024
 
 
 def _request_from_message(message: dict, default_deck: str | None) -> GenerationRequest:
@@ -52,6 +72,9 @@ def _request_from_message(message: dict, default_deck: str | None) -> Generation
         from ..zoo.corpora import EXPERIMENT_GRID
 
         deck = deck_by_name(str(deck_name), EXPERIMENT_GRID)
+    deadline_s = message.get("deadline_s")
+    if deadline_s is not None:
+        deadline_s = float(deadline_s)
     return GenerationRequest(
         backend=message["backend"],
         count=message["count"],
@@ -59,6 +82,7 @@ def _request_from_message(message: dict, default_deck: str | None) -> Generation
         deck=deck,
         params=message.get("params", {}),
         priority=int(message.get("priority", 0)),
+        deadline_s=deadline_s,
     )
 
 
@@ -66,6 +90,7 @@ async def _forward(
     stream: ResultStream,
     writer: asyncio.StreamWriter,
     write_lock: asyncio.Lock,
+    service: "GenerationService | None" = None,
 ) -> None:
     """Relay one request's chunks and final result onto the wire."""
 
@@ -92,6 +117,10 @@ async def _forward(
             "seconds": round(batch.timings.total_seconds, 4),
         })
     except (ConnectionError, asyncio.CancelledError):
+        # The client vanished mid-stream: stop the request's remaining
+        # work instead of computing results nobody will read.
+        if service is not None and not stream.done:
+            service.cancel(stream.request_id)
         raise
     except Exception as error:  # noqa: BLE001 - reported on the wire
         try:
@@ -111,9 +140,20 @@ async def handle_connection(
     *,
     default_deck: str | None = None,
 ) -> None:
-    """Serve one client connection until EOF."""
+    """Serve one client connection until EOF.
+
+    Malformed frames (bad JSON, non-object lines, non-string or unknown
+    ops, invalid request fields) are answered with a structured ``error``
+    event; the connection — and the accept loop — survive them.  The one
+    exception is an oversized line (beyond the stream's byte limit):
+    after reporting it the connection closes, because the reader's
+    buffer can no longer be resynchronised to line boundaries.  On
+    disconnect, all of the connection's unfinished requests are
+    cancelled.
+    """
     write_lock = asyncio.Lock()
     forwarders: set[asyncio.Task] = set()
+    submitted: dict[str, ResultStream] = {}
 
     async def emit(payload: dict) -> None:
         async with write_lock:
@@ -122,7 +162,19 @@ async def handle_connection(
 
     try:
         while True:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # Line exceeded the stream limit: the buffer now holds a
+                # partial line we cannot re-frame.  Report and hang up.
+                try:
+                    await emit({
+                        "event": "error",
+                        "message": "line too long (exceeds server limit)",
+                    })
+                except ConnectionError:
+                    pass
+                break
             if not line:
                 break
             text = line.strip()
@@ -133,8 +185,25 @@ async def handle_connection(
                 if not isinstance(message, dict):
                     raise ValueError("expected a JSON object per line")
                 op = message.get("op")
+                if op is not None and not isinstance(op, str):
+                    raise ValueError("'op' must be a string")
                 if op == "ping":
                     await emit({"event": "pong"})
+                    continue
+                if op == "cancel":
+                    request_id = message.get("request_id")
+                    if not isinstance(request_id, str) or not request_id:
+                        raise ValueError(
+                            "'cancel' needs a string 'request_id'"
+                        )
+                    await emit({
+                        "event": "cancelled",
+                        "request_id": request_id,
+                        "cancelled": service.cancel(request_id),
+                    })
+                    continue
+                if op == "health":
+                    await emit({"event": "health", **service.health()})
                     continue
                 if op == "stats":
                     stats = service.stats
@@ -143,6 +212,11 @@ async def handle_connection(
                         "submitted": stats.submitted,
                         "completed": stats.completed,
                         "failed": stats.failed,
+                        # Recovery telemetry: stage retries, requests
+                        # dropped at a deadline boundary, cancellations.
+                        "retries": stats.retries,
+                        "deadline_drops": stats.deadline_drops,
+                        "cancelled": stats.cancelled,
                         "cycles": stats.cycles,
                         "micro_batches": stats.micro_batches,
                         "peak_coalesced": stats.peak_coalesced,
@@ -174,6 +248,9 @@ async def handle_connection(
                             "sampler_plan": plan_cache_stats(),
                             "checkpoints": model_cache_stats(),
                         },
+                        # Active fault-injection plan state (chaos runs;
+                        # {"installed": false} in normal operation).
+                        "faults": injection_stats(),
                         # Per-stage latency histograms (queue/gather/
                         # model/drc/admit), service-wide and per lane;
                         # see docs/SERVING.md for the bucket format.
@@ -190,11 +267,20 @@ async def handle_connection(
                 stream = await service.submit(
                     request, session=message.get("session")
                 )
-            except (ValueError, TypeError, KeyError, json.JSONDecodeError) as error:
+            except (
+                ValueError,
+                TypeError,
+                KeyError,
+                RuntimeError,  # service draining / not running
+                json.JSONDecodeError,
+            ) as error:
                 await emit({"event": "error", "message": str(error)})
                 continue
+            submitted[stream.request_id] = stream
             await emit({"event": "accepted", "request_id": stream.request_id})
-            task = asyncio.ensure_future(_forward(stream, writer, write_lock))
+            task = asyncio.ensure_future(
+                _forward(stream, writer, write_lock, service)
+            )
             forwarders.add(task)
             task.add_done_callback(forwarders.discard)
         if forwarders:
@@ -202,6 +288,11 @@ async def handle_connection(
     except ConnectionError:
         pass
     finally:
+        # A vanished client's unfinished requests are cancelled so they
+        # stop consuming lane time; finished streams are left alone.
+        for request_id, stream in submitted.items():
+            if not stream.done:
+                service.cancel(request_id)
         for task in list(forwarders):
             task.cancel()
         writer.close()
@@ -217,12 +308,18 @@ async def serve(
     port: int = 8157,
     *,
     default_deck: str | None = None,
+    limit: int = DEFAULT_LINE_LIMIT,
 ) -> asyncio.AbstractServer:
-    """Open the TCP front end (the service must already be started)."""
+    """Open the TCP front end (the service must already be started).
+
+    ``limit`` bounds one line's size; an overlong line draws a
+    structured error and closes that connection (only), keeping a
+    misbehaving client from buffering unbounded bytes server-side.
+    """
 
     async def handler(reader, writer):
         await handle_connection(
             reader, writer, service, default_deck=default_deck
         )
 
-    return await asyncio.start_server(handler, host, port)
+    return await asyncio.start_server(handler, host, port, limit=limit)

@@ -55,17 +55,41 @@ from ..engine import (
     ExecutionTuner,
     GenerationBatch,
     GenerationRequest,
+    RetryPolicy,
     StageTimings,
     get_backend,
     resolve_exec_mode,
 )
 from ..engine.tuner import TunerDecision, pow2_bucket
+from .faults import maybe_fire, protected
 from .lanes import Lane, LaneManager
 from .scheduler import MicroBatch, MicroBatchScheduler, PendingRequest, SchedulerConfig
 from .session import SessionConfig, SessionManager
 from .stats import LaneStats, StageLatencies
 
-__all__ = ["ServiceConfig", "ServiceStats", "ResultStream", "GenerationService"]
+__all__ = [
+    "DeadlineExceeded",
+    "RequestCancelled",
+    "ServiceConfig",
+    "ServiceStats",
+    "ResultStream",
+    "GenerationService",
+]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's ``deadline_s`` passed before it finished.
+
+    Raised through the request's :class:`ResultStream` when a stage
+    boundary (dispatch, model, admit) finds the deadline expired; the
+    request is dropped there rather than burning compute a client has
+    already given up on.
+    """
+
+
+class RequestCancelled(RuntimeError):
+    """The request was cancelled (``op: "cancel"``, client disconnect,
+    or :meth:`GenerationService.cancel`) before it completed."""
 
 _DONE = object()  # chunk-queue sentinel: no more chunks
 _COMMIT_STOP = object()  # commit-queue sentinel: flush and exit
@@ -149,6 +173,13 @@ class ServiceConfig:
     pack_models: bool = True
     exec_mode: str | None = None
     tuner_dir: str | None = None
+    #: Retry policy for the retryable micro-batch stages (model propose,
+    #: DRC sweep): bounded attempts with capped exponential backoff and
+    #: request-seeded jitter, so retries are deterministic.  A retried
+    #: model stage re-seeds the plan's root rng first — a request that
+    #: succeeds on attempt 2 is bit-identical to one that succeeded on
+    #: attempt 1.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     sessions: SessionConfig = field(default_factory=SessionConfig)
 
@@ -195,6 +226,14 @@ class ServiceStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    # Fault-tolerance counters: every recovery event is visible on the
+    # ``stats`` verb.  ``retries`` counts retried stage attempts (model
+    # propose + DRC sweep), ``deadline_drops`` requests failed with
+    # DeadlineExceeded, ``cancelled`` requests failed with
+    # RequestCancelled (both are also included in ``failed``).
+    retries: int = 0
+    deadline_drops: int = 0
+    cancelled: int = 0
     cycles: int = 0
     micro_batches: int = 0
     peak_coalesced: int = 0  # most requests ever served by one micro-batch
@@ -226,11 +265,14 @@ class _CommitToken:
     marks a request that already failed (its error was delivered on the
     lane) and only needs its arrival slot released.  Tokens are ordered
     by arrival index; the commit thread admits strictly in that order.
+    ``pending`` is always set: the commit stage uses it to release the
+    request from the live (cancellable) registry exactly once.
     """
 
     arrival: int
     lane: "Lane | None" = field(compare=False, default=None)
     ready: "tuple | None" = field(compare=False, default=None)
+    pending: "PendingRequest | None" = field(compare=False, default=None)
 
 
 class ResultStream:
@@ -363,6 +405,15 @@ class GenerationService:
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._dispatch_event: asyncio.Event | None = None
+        # Cancellation registry: request_id -> PendingRequest for every
+        # request between submit and commit, plus the ids cancel() has
+        # marked.  Marks take effect at the next stage boundary.
+        self._live: dict[str, PendingRequest] = {}
+        self._cancelled: set[str] = set()
+        self._live_lock = threading.Lock()
+        # Draining: submissions are refused while the service finishes
+        # what it already accepted (graceful shutdown; see drain()).
+        self._draining = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -405,6 +456,10 @@ class GenerationService:
         self._submit_lock = asyncio.Lock()
         self._dispatch_event = asyncio.Event()
         self._inflight = 0
+        with self._live_lock:
+            self._live.clear()
+            self._cancelled.clear()
+        self._draining = False
         cfg = self.config
         self.stats.lanes.clear()
         self.tuner = ExecutionTuner(store_dir=cfg.tuner_dir)
@@ -463,6 +518,9 @@ class GenerationService:
             while not self._queue.empty():
                 self._fail_pending(self._queue.get_nowait())
             self._queue = None
+        with self._live_lock:
+            self._live.clear()
+            self._cancelled.clear()
         if checkpoint:
             self.stats.checkpoints += len(self.sessions.checkpoint_all())
         if lanes is not None:
@@ -493,9 +551,18 @@ class GenerationService:
         Awaits when the queue is full (backpressure).  ``session`` names
         the library scope; ``None`` gives the request a private fresh
         store, like a serial :func:`~repro.engine.run_generation` call.
+
+        A draining service (graceful shutdown in progress) refuses new
+        submissions with ``RuntimeError`` while it finishes the requests
+        it already accepted.  The request's ``deadline_s``, if any,
+        starts counting here.
         """
         if not self.running or self._queue is None:
             raise RuntimeError("generation service is not running")
+        if self._draining:
+            raise RuntimeError(
+                "generation service is draining (not accepting requests)"
+            )
         if session is not None:
             # Syntax-check the id here (bad ids fail the submit); the
             # store itself — possibly a large snapshot load — is
@@ -507,14 +574,25 @@ class GenerationService:
         # always equals arrival order, even when the queue is full and
         # several submitters are waiting.
         async with self._submit_lock:
+            submitted_at = time.perf_counter()
             pending = PendingRequest(
                 arrival=self._arrival,
                 request=request,
                 session_id=session,
                 stream=stream,
-                submitted_at=time.perf_counter(),
+                submitted_at=submitted_at,
+                deadline_at=(
+                    submitted_at + request.deadline_s
+                    if request.deadline_s is not None
+                    else None
+                ),
             )
             self._arrival += 1
+            # Register as live *before* the enqueue: once the queue holds
+            # the entry a lane (or the commit thread) may finish it at
+            # any moment, and its release must find the registration.
+            with self._live_lock:
+                self._live[request.request_id] = pending
             await self._queue.put(pending)
         if not self.running:
             # stop() ran while we were waiting on a full queue; the drain
@@ -523,6 +601,131 @@ class GenerationService:
             self._fail_pending(pending)
         self.stats.submitted += 1
         return stream
+
+    # ------------------------------------------------------------------
+    # Cancellation, deadlines, drain, health
+    # ------------------------------------------------------------------
+    def cancel(self, request_id: str) -> bool:
+        """Mark a live request cancelled; ``True`` when the mark took.
+
+        Cancellation is a *boundary* operation: the mark is honoured at
+        the next stage boundary (dispatch, model, admit), where the
+        request fails with :class:`RequestCancelled` and emits its one
+        commit token — a stage already past its last boundary completes
+        normally.  ``False`` means the id is unknown or already done.
+        Thread-safe; callable from any thread (the TCP server calls it
+        from connection handlers and on client disconnect).
+        """
+        with self._live_lock:
+            pending = self._live.get(request_id)
+            if pending is None or pending.stream.done:
+                return False
+            self._cancelled.add(request_id)
+            return True
+
+    def _release_live(self, pending: PendingRequest) -> None:
+        """Drop a finished request from the cancellation registry."""
+        with self._live_lock:
+            if self._live.get(pending.request.request_id) is pending:
+                del self._live[pending.request.request_id]
+            self._cancelled.discard(pending.request.request_id)
+
+    def _boundary_error(self, pending: PendingRequest) -> "Exception | None":
+        """The stage-boundary verdict: cancelled, past deadline, or None."""
+        with self._live_lock:
+            if pending.request.request_id in self._cancelled:
+                return RequestCancelled(
+                    f"request {pending.request.request_id} was cancelled"
+                )
+        if (
+            pending.deadline_at is not None
+            and time.perf_counter() >= pending.deadline_at
+        ):
+            return DeadlineExceeded(
+                f"request {pending.request.request_id} missed its "
+                f"{pending.request.deadline_s:g}s deadline"
+            )
+        return None
+
+    def _fail_request(
+        self,
+        pending: PendingRequest,
+        error: BaseException,
+        lane: "Lane | None" = None,
+    ) -> None:
+        """Deliver a terminal error (any thread; done-guarded counters)."""
+        if not pending.stream.done:
+            with self._stats_lock:
+                self.stats.failed += 1
+                if isinstance(error, DeadlineExceeded):
+                    self.stats.deadline_drops += 1
+                elif isinstance(error, RequestCancelled):
+                    self.stats.cancelled += 1
+                if lane is not None:
+                    lane.stats.failures += 1
+        self._publish(pending.stream, ResultStream._deliver_error, error)
+
+    async def drain(self, timeout: "float | None" = None) -> bool:
+        """Refuse new submissions and await in-flight completion.
+
+        Returns ``True`` once the queue and all in-flight requests are
+        empty, ``False`` when ``timeout`` seconds pass first (the
+        remaining requests are still being served — callers typically
+        proceed to :meth:`stop`, which fails whatever is still queued).
+        Idempotent; the service keeps running either way so a final
+        checkpoint can still happen.
+        """
+        self._draining = True
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            queued = self._queue.qsize() if self._queue is not None else 0
+            if queued == 0 and self._inflight == 0:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.02)
+
+    def health(self) -> dict:
+        """Liveness + degradation snapshot (the ``op: "health"`` verb).
+
+        ``status`` is ``"ok"``, ``"degraded"`` (any pool circuit breaker
+        currently open — those stages run serial until the cooldown
+        passes) or ``"stopped"``; the rest is the recovery telemetry:
+        per-pool breaker state, pool rebuilds, retry / deadline / cancel
+        counters and the draining flag.
+        """
+        breakers: list[dict] = []
+        rebuilds = 0
+        if self.lanes is not None:
+            registry = self.lanes.pools
+            breakers = registry.breakers.snapshot()
+            rebuilds = registry.rebuilds
+        degraded = any(entry.get("state") == "open" for entry in breakers)
+        if not self.running:
+            status = "stopped"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        with self._stats_lock:
+            counters = {
+                "retries": self.stats.retries,
+                "deadline_drops": self.stats.deadline_drops,
+                "cancelled": self.stats.cancelled,
+            }
+        return {
+            "status": status,
+            "draining": self._draining,
+            "breakers": breakers,
+            "breaker_trips": sum(
+                int(entry.get("trips", 0)) for entry in breakers
+            ),
+            "pool_rebuilds": rebuilds,
+            "snapshot_load_fallbacks": self.sessions.load_fallbacks,
+            **counters,
+        }
 
     # ------------------------------------------------------------------
     # Scheduler loop (event-loop side)
@@ -535,6 +738,7 @@ class GenerationService:
         pending.stream._deliver_error(
             RuntimeError("generation service stopped")
         )
+        self._release_live(pending)
 
     def _dequeued(self, pending: PendingRequest) -> PendingRequest:
         """Stamp a request as pulled off the submit queue (loop thread)."""
@@ -596,16 +800,22 @@ class GenerationService:
             self._inflight += len(batch)
         healthy = []
         for pending in batch:
-            try:
-                pending.request.compatibility_key()
-            except Exception as error:  # noqa: BLE001 - bad fields
-                if not pending.stream.done:
-                    with self._stats_lock:
-                        self.stats.failed += 1
-                pending.stream._deliver_error(error)
+            # Dequeue-time boundary: a request already cancelled, or
+            # whose deadline passed while it queued, is dropped before
+            # it costs a lane anything.
+            error = self._boundary_error(pending)
+            if error is None:
+                try:
+                    pending.request.compatibility_key()
+                except Exception as bad:  # noqa: BLE001 - bad fields
+                    error = bad
+            if error is not None:
+                self._fail_request(pending, error)
                 # Release the arrival slot: the commit stage must not
                 # wait forever on a request no lane will ever serve.
-                self._commit_queue.put(_CommitToken(pending.arrival))
+                self._commit_queue.put(
+                    _CommitToken(pending.arrival, pending=pending)
+                )
             else:
                 healthy.append(pending)
         micro_batches = self.scheduler.coalesce(healthy)
@@ -655,13 +865,7 @@ class GenerationService:
             ready = self._run_micro_batch(micro, lane)
         except Exception as error:  # noqa: BLE001 - lane must survive
             for pending in micro.entries:
-                if not pending.stream.done:
-                    with self._stats_lock:
-                        self.stats.failed += 1
-                        lane.stats.failures += 1
-                self._publish(
-                    pending.stream, ResultStream._deliver_error, error
-                )
+                self._fail_request(pending, error, lane)
         finally:
             with self._stats_lock:
                 lane.stats.busy_seconds += time.perf_counter() - t0
@@ -669,12 +873,15 @@ class GenerationService:
             staged = {id(item[0]) for item in ready}
             for item in ready:
                 self._commit_queue.put(
-                    _CommitToken(item[0].arrival, lane=lane, ready=item)
+                    _CommitToken(
+                        item[0].arrival, lane=lane, ready=item,
+                        pending=item[0],
+                    )
                 )
             for pending in micro.entries:
                 if id(pending) not in staged:
                     self._commit_queue.put(
-                        _CommitToken(pending.arrival, lane=lane)
+                        _CommitToken(pending.arrival, lane=lane, pending=pending)
                     )
 
     def _choose_model_mode(self, executor, prepared, micro) -> TunerDecision:
@@ -809,6 +1016,36 @@ class GenerationService:
             )
         return True
 
+    def _count_retry(self, attempt: int, error: BaseException) -> None:
+        """on_retry hook: surface every retried stage attempt in stats."""
+        with self._stats_lock:
+            self.stats.retries += 1
+
+    def _execute_with_retry(self, executor, pending, plan) -> CandidateBatch:
+        """Run the model stage under the service's retry policy.
+
+        Each retry re-seeds the plan's root rng from the request before
+        re-proposing: a failed attempt may have consumed part of the
+        stream, and the contract is that a request served on attempt N
+        is bit-identical to one served on attempt 1.  The backoff jitter
+        is drawn from a request-derived generator, so the retry schedule
+        itself is deterministic per request.
+        """
+
+        def on_retry(attempt: int, error: BaseException) -> None:
+            plan.rng = pending.request.rng()
+            plan.proposal = None
+            self._count_retry(attempt, error)
+
+        with protected():  # env-scoped fault plans may fire in here
+            return self.config.retry.run(
+                lambda: executor.execute(plan),
+                rng=np.random.default_rng(
+                    [0x6D6F64656C, abs(int(pending.request.seed))]
+                ),
+                on_retry=on_retry,
+            )
+
     def _run_micro_batch(self, micro: MicroBatch, lane: Lane):
         """Model stage (packed when possible) + denoise per request, then
         one DRC sweep; no admission (the commit stage owns that)."""
@@ -816,6 +1053,12 @@ class GenerationService:
         executor = None
         for pending in micro.entries:
             request = pending.request
+            boundary = self._boundary_error(pending)
+            if boundary is not None:
+                # Dropped at the lane's entry boundary: the finally
+                # block in _lane_serve emits its skip token.
+                self._fail_request(pending, boundary, lane)
+                continue
             try:
                 backend = lane.backend_for(request)
                 deck = request.deck if request.deck is not None else backend.deck
@@ -826,10 +1069,7 @@ class GenerationService:
                 plan = executor.plan(request, backend=backend, library=library)
                 prepared.append((pending, plan))
             except Exception as error:  # noqa: BLE001 - surfaced per request
-                with self._stats_lock:
-                    self.stats.failed += 1
-                    lane.stats.failures += 1
-                self._publish(pending.stream, ResultStream._deliver_error, error)
+                self._fail_request(pending, error, lane)
         if not prepared:
             return []
 
@@ -858,10 +1098,17 @@ class GenerationService:
         staged: list[tuple[PendingRequest, ExecutionPlan, list[np.ndarray], float]] = []
         sample_seconds = 0.0
         for pending, plan in prepared:
+            boundary = self._boundary_error(pending)
+            if boundary is not None:
+                # Model-stage boundary: cancelled / expired between plan
+                # and sampling.
+                self._fail_request(pending, boundary, lane)
+                continue
             try:
                 t_model = time.perf_counter()
                 proposal = (
-                    plan.proposal if packed else executor.execute(plan)
+                    plan.proposal if packed
+                    else self._execute_with_retry(executor, pending, plan)
                 )
                 if not packed:
                     sample_seconds += plan.generate_seconds
@@ -883,10 +1130,7 @@ class GenerationService:
                 lane.stats.stages.observe("model", model_seconds)
                 staged.append((pending, plan, clips, denoise_seconds))
             except Exception as error:  # noqa: BLE001 - surfaced per request
-                with self._stats_lock:
-                    self.stats.failed += 1
-                    lane.stats.failures += 1
-                self._publish(pending.stream, ResultStream._deliver_error, error)
+                self._fail_request(pending, error, lane)
         if not staged:
             return []
         if not packed:
@@ -908,13 +1152,19 @@ class GenerationService:
         cache = executor.engine.cache
         hits0, misses0 = cache.hits, cache.misses
         try:
-            legal_all, drc_seconds = executor.check_batch(all_clips)
+            # The sweep is retryable: DRC is a pure content-keyed check,
+            # so re-running it consumes no request rng state.  The
+            # jitter generator is fixed-seeded — the sweep is shared, so
+            # no single request's seed may steer it.
+            with protected():  # env-scoped fault plans may fire in here
+                legal_all, drc_seconds = self.config.retry.run(
+                    lambda: executor.check_batch(all_clips),
+                    rng=np.random.default_rng(0x647263),
+                    on_retry=self._count_retry,
+                )
         except Exception as error:  # noqa: BLE001 - fail the whole batch
             for pending, _, _, _ in staged:
-                with self._stats_lock:
-                    self.stats.failed += 1
-                    lane.stats.failures += 1
-                self._publish(pending.stream, ResultStream._deliver_error, error)
+                self._fail_request(pending, error, lane)
             return []
         # Attribute the sweep's cache traffic by candidate share, so a
         # request's batch reports its own traffic, not the whole sweep's.
@@ -980,9 +1230,24 @@ class GenerationService:
             pending, executor, plan, clips, legal, timings, hits, misses = (
                 token.ready
             )
+            # Last boundary check: a request cancelled (or expired) while
+            # it sat in the commit heap is dropped *before* admission —
+            # nothing of it reaches the session store.
+            boundary = self._boundary_error(pending)
+            if boundary is not None:
+                self._fail_request(pending, boundary, token.lane)
+                released = True
+                self._committed()
+                return
             t0 = time.perf_counter()
             batch, error = None, None
             try:
+                # Narrow protected() scope: the admit site is covered
+                # (errors here are contained to this request), but the
+                # session checkpoint below is not — an env-scoped
+                # snapshot fault must not fail an unrelated request.
+                with protected():
+                    maybe_fire("admit")
                 legal_clips = [c for c, ok in zip(clips, legal) if ok]
                 admitted = sum(executor.admit_batch(plan.library, legal_clips))
                 batch = executor.assemble(
@@ -1009,6 +1274,10 @@ class GenerationService:
             else:
                 with self._stats_lock:
                     self.stats.failed += 1
+                    if isinstance(error, DeadlineExceeded):
+                        self.stats.deadline_drops += 1
+                    elif isinstance(error, RequestCancelled):
+                        self.stats.cancelled += 1
                     if token.lane is not None:
                         token.lane.stats.failures += 1
             released = True
@@ -1018,6 +1287,8 @@ class GenerationService:
             else:
                 self._publish(pending.stream, ResultStream._deliver_error, error)
         finally:
+            if token.pending is not None:
+                self._release_live(token.pending)
             if not released:
                 self._committed()
 

@@ -131,6 +131,10 @@ class SessionManager:
         self.config = config or SessionConfig()
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
+        #: Sessions whose snapshot could not be loaded and started cold
+        #: instead (every load attempt — current and previous manifest —
+        #: failed).  Exported via ``op: "health"``.
+        self.load_fallbacks = 0
 
     @staticmethod
     def validate_id(session_id: str) -> str:
@@ -168,8 +172,16 @@ class SessionManager:
         if cfg.snapshot_root is not None:
             snapshot_dir = Path(cfg.snapshot_root) / session_id
             if is_library_dir(snapshot_dir):
-                # None keeps the snapshot's own shard layout.
-                store = load_library(snapshot_dir, name=session_id)
+                try:
+                    # None keeps the snapshot's own shard layout.
+                    store = load_library(snapshot_dir, name=session_id)
+                except Exception:  # noqa: BLE001 - cold start beats crash
+                    # Both the current and the previous-generation
+                    # manifest failed to load (torn beyond the last good
+                    # snapshot).  Serving an empty session is strictly
+                    # better than refusing to serve the tenant at all.
+                    self.load_fallbacks += 1
+                    store = None
         if store is None:
             if cfg.library_shards > 1:
                 store = ShardedStore(

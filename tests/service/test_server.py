@@ -168,6 +168,63 @@ class TestProtocol:
         assert sum(entry["requests"] for entry in stats["lanes"]) <= n
 
 
+class TestFaultVerbs:
+    def test_health_verb_reports_ok_with_recovery_counters(self):
+        events = asyncio.run(_round_trip([{"op": "health"}]))
+        (health,) = [e for e in events if e["event"] == "health"]
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+        for field in (
+            "breakers", "breaker_trips", "pool_rebuilds", "retries",
+            "deadline_drops", "cancelled", "snapshot_load_fallbacks",
+        ):
+            assert field in health
+
+    def test_stats_exports_faults_and_recovery_counters(self):
+        from repro.service import clear_faults
+
+        clear_faults()  # a REPRO_FAULTS chaos schedule may be installed
+        events = asyncio.run(_round_trip([{"op": "stats"}]))
+        (stats,) = [e for e in events if e["event"] == "stats"]
+        assert stats["faults"] == {"installed": False, "fired": []}
+        assert stats["retries"] == 0
+        assert stats["deadline_drops"] == 0
+        assert stats["cancelled"] == 0
+
+    def test_cancel_verb_unknown_id_reports_false(self):
+        events = asyncio.run(_round_trip(
+            [{"op": "cancel", "request_id": "no-such"}],
+        ))
+        (reply,) = [e for e in events if e["event"] == "cancelled"]
+        assert reply["request_id"] == "no-such"
+        assert reply["cancelled"] is False
+
+    def test_cancel_verb_requires_request_id(self):
+        events = asyncio.run(_round_trip(
+            [{"op": "cancel"}],
+            stop_after=lambda ev: ev[-1]["event"] == "error",
+        ))
+        assert "request_id" in events[-1]["message"]
+
+    def test_deadline_s_rides_the_wire(self):
+        # An already-expired deadline: the request is accepted, then
+        # fails with exactly one error event naming the deadline.
+        events = asyncio.run(_round_trip(
+            [{"backend": "rule", "count": 2, "deadline_s": 1e-9}],
+        ))
+        kinds = [e["event"] for e in events]
+        assert kinds.count("error") == 1
+        assert "deadline" in events[kinds.index("error")]["message"]
+        assert "result" not in kinds
+
+    def test_bad_deadline_s_rejected(self):
+        events = asyncio.run(_round_trip(
+            [{"backend": "rule", "count": 2, "deadline_s": "soon"}],
+            stop_after=lambda ev: ev[-1]["event"] == "error",
+        ))
+        assert events[-1]["event"] == "error"
+
+
 class TestErrors:
     def test_unknown_backend_reports_error_event(self):
         events = asyncio.run(_round_trip(
@@ -223,3 +280,177 @@ class TestErrors:
             stop_after=lambda ev: ev[-1]["event"] == "error",
         ))
         assert "count" in events[-1]["message"]
+
+
+class TestHardening:
+    """Satellite: malformed frames get structured errors, never a dead
+    accept loop."""
+
+    async def _raw_session(self, payloads, *, limit=None, extra_lines=()):
+        """Send raw byte lines; collect events until EOF."""
+        from repro.service.server import serve as serve_fn
+
+        service = GenerationService()
+        await service.start()
+        kwargs = {"default_deck": "advanced"}
+        if limit is not None:
+            kwargs["limit"] = limit
+        server = await serve_fn(service, "127.0.0.1", 0, **kwargs)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            for payload in payloads:
+                writer.write(payload)
+            await writer.drain()
+            writer.write_eof()
+            events = []
+            while True:
+                raw = await asyncio.wait_for(reader.readline(), timeout=30)
+                if not raw:
+                    break
+                events.append(json.loads(raw))
+            writer.close()
+            await writer.wait_closed()
+            return events
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+
+    def test_non_dict_json_line_reports_error_and_survives(self):
+        events = asyncio.run(self._raw_session([
+            b"[1, 2, 3]\n",
+            b'"just a string"\n',
+            b'{"op": "ping"}\n',
+        ]))
+        kinds = [e["event"] for e in events]
+        assert kinds[:2] == ["error", "error"]
+        assert "JSON object" in events[0]["message"]
+        assert kinds[-1] == "pong"  # connection survived both
+
+    def test_non_string_op_reports_error_and_survives(self):
+        events = asyncio.run(self._raw_session([
+            b'{"op": 42}\n',
+            b'{"op": {"nested": true}}\n',
+            b'{"op": "ping"}\n',
+        ]))
+        kinds = [e["event"] for e in events]
+        assert kinds[:2] == ["error", "error"]
+        assert "'op' must be a string" in events[0]["message"]
+        assert kinds[-1] == "pong"
+
+    def test_unknown_op_reports_error_and_survives(self):
+        events = asyncio.run(self._raw_session([
+            b'{"op": "reboot"}\n',
+            b'{"op": "ping"}\n',
+        ]))
+        assert events[0]["event"] == "error"
+        assert "unknown op" in events[0]["message"]
+        assert events[-1]["event"] == "pong"
+
+    def test_oversized_line_reports_error_then_closes(self):
+        # Beyond the stream limit the reader cannot resynchronise, so
+        # the server reports once and hangs up — without crashing the
+        # accept loop (a fresh connection still works).
+        async def run():
+            from repro.service.server import serve as serve_fn
+
+            service = GenerationService()
+            await service.start()
+            server = await serve_fn(
+                service, "127.0.0.1", 0,
+                default_deck="advanced", limit=1024,
+            )
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port, limit=1 << 20
+                )
+                writer.write(b"x" * 4096 + b"\n")
+                await writer.drain()
+                events = []
+                while True:
+                    raw = await asyncio.wait_for(
+                        reader.readline(), timeout=30
+                    )
+                    if not raw:
+                        break  # server closed the connection
+                    events.append(json.loads(raw))
+                writer.close()
+                await writer.wait_closed()
+                # The accept loop must still be alive for new clients.
+                reader2, writer2 = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer2.write(b'{"op": "ping"}\n')
+                await writer2.drain()
+                pong = json.loads(await asyncio.wait_for(
+                    reader2.readline(), timeout=30
+                ))
+                writer2.close()
+                await writer2.wait_closed()
+                return events, pong
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.stop()
+
+        events, pong = asyncio.run(run())
+        assert len(events) == 1
+        assert events[0]["event"] == "error"
+        assert "too long" in events[0]["message"]
+        assert pong["event"] == "pong"
+
+    def test_disconnect_cancels_unfinished_requests(self):
+        # A client that submits and vanishes must not leave its request
+        # burning lane time.  A clean FIN is indistinguishable from the
+        # legitimate write_eof() pipelining pattern, so "vanished" means
+        # the connection *errors*: an abortive close (RST) aborts the
+        # server's pending read, and the handler cancels every submitted
+        # request that has not finished.  The wide gather window keeps
+        # the request at the dispatch boundary so the cancel lands.
+        import socket
+        import struct
+
+        from repro.service import SchedulerConfig, ServiceConfig
+
+        async def run():
+            from repro.service.server import serve as serve_fn
+
+            service = GenerationService(ServiceConfig(
+                scheduler=SchedulerConfig(gather_window_s=0.5),
+            ))
+            await service.start()
+            server = await serve_fn(service, "127.0.0.1", 0,
+                                    default_deck="advanced")
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(b'{"backend": "rule", "count": 3}\n')
+                await writer.drain()
+                accepted = json.loads(await asyncio.wait_for(
+                    reader.readline(), timeout=30
+                ))
+                assert accepted["event"] == "accepted"
+                # Vanish abortively: SO_LINGER(on, 0) turns close() into
+                # an RST, the kernel-level signature of a dead client.
+                sock = writer.transport.get_extra_info("socket")
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                writer.close()
+                for _ in range(200):
+                    if service.stats.cancelled:
+                        break
+                    await asyncio.sleep(0.02)
+                return service.stats.cancelled
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.stop()
+
+        assert asyncio.run(run()) == 1
