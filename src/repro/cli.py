@@ -11,6 +11,7 @@ every table and figure of the paper.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 __all__ = ["main", "build_parser"]
@@ -161,6 +162,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "the sampler-plan warm cache here across "
                             "server runs (default: --drc-cache-dir when "
                             "given)")
+    serve.add_argument("--workers", type=_positive_int, default=None,
+                       metavar="N",
+                       help="worker *processes*: 2+ fronts a multi-process "
+                            "fleet (sticky key->worker routing, results "
+                            "kept in global arrival order, crashed "
+                            "workers respawned, session snapshots merged "
+                            "at drain/shutdown); 1 runs the single-"
+                            "process service (default: "
+                            "$REPRO_SERVICE_WORKERS or 1)")
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        metavar="S",
                        help="on SIGTERM/SIGINT, stop accepting requests "
@@ -378,10 +388,14 @@ def _cmd_serve(args) -> int:
     import asyncio
 
     from .service import (
+        WORKERS_ENV,
+        FleetConfig,
+        FleetService,
         GenerationService,
         SchedulerConfig,
         ServiceConfig,
         SessionConfig,
+        default_workers,
         serve,
     )
 
@@ -411,6 +425,10 @@ def _cmd_serve(args) -> int:
             checkpoint_every=args.checkpoint_every or 0,
         ),
     )
+    # --workers wins; else $REPRO_SERVICE_WORKERS; else single-process.
+    workers = args.workers
+    if workers is None:
+        workers = default_workers() if os.environ.get(WORKERS_ENV) else 1
 
     async def main() -> None:
         if args.drc_cache_dir:
@@ -420,14 +438,21 @@ def _cmd_serve(args) -> int:
             if loaded:
                 print(f"repro serve: DRC cache: loaded {loaded} verdicts "
                       f"from {args.drc_cache_dir}")
-        service = GenerationService(config)
+        # The fleet front mirrors the GenerationService surface
+        # (submit/cancel/health/stats_payload/drain/stop), so the TCP
+        # server and the signal->drain->stop block below are one shared
+        # implementation for both topologies.
+        if workers >= 2:
+            service = FleetService(FleetConfig(workers=workers, service=config))
+        else:
+            service = GenerationService(config)
         await service.start()
         server = await serve(
             service, args.host, args.port, default_deck=args.deck
         )
         host, port = server.sockets[0].getsockname()[:2]
         print(f"repro serve: listening on {host}:{port} "
-              f"(deck={args.deck}, jobs={config.jobs}, "
+              f"(deck={args.deck}, workers={workers}, jobs={config.jobs}, "
               f"lanes={config.lanes}, max-batch={args.max_batch})")
         print('protocol: one JSON object per line, e.g. '
               '{"backend": "rule", "count": 8, "seed": 0}')

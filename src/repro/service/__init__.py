@@ -25,7 +25,13 @@ machinery in a long-lived asyncio service:
 * :class:`ServiceClient` — the blocking in-process client used by tests
   and benchmarks;
 * :func:`serve` — the stdlib TCP line-JSON front end behind
-  ``repro serve``.
+  ``repro serve``;
+* :class:`FleetService` / :class:`FleetConfig` — the multi-process
+  shard-aware front (``repro serve --workers N``): N forked worker
+  processes each running a full service, sticky key→worker routing,
+  a front-side commit sequencer keeping results in global arrival
+  order, circuit-breaker-gated crash respawn, and drain-time session
+  snapshot reconciliation via the ordered library merge protocol.
 
 Typical in-process use::
 
@@ -60,6 +66,15 @@ from .faults import (
     injection_stats,
     install_faults,
     maybe_fire,
+    reset_faults_for_worker,
+)
+from .fleet import (
+    WORKERS_ENV,
+    FleetConfig,
+    FleetService,
+    FleetStats,
+    default_workers,
+    reconcile_worker_snapshots,
 )
 from .lanes import Lane, LaneManager
 from .scheduler import (
@@ -90,6 +105,9 @@ __all__ = [
     "DeadlineExceeded",
     "FaultPlan",
     "FaultSpec",
+    "FleetConfig",
+    "FleetService",
+    "FleetStats",
     "GenerationService",
     "InjectedFault",
     "Lane",
@@ -109,11 +127,15 @@ __all__ = [
     "SessionConfig",
     "SessionManager",
     "StageLatencies",
+    "WORKERS_ENV",
     "active_plan",
+    "default_workers",
     "clear_faults",
     "handle_connection",
     "injection_stats",
     "install_faults",
     "maybe_fire",
+    "reconcile_worker_snapshots",
+    "reset_faults_for_worker",
     "serve",
 ]

@@ -111,7 +111,23 @@ class ServiceClient:
         config: ServiceConfig | None = None,
         *,
         service: GenerationService | None = None,
+        workers: int | None = None,
     ):
+        """``workers`` (when 2+) fronts a multi-process
+        :class:`~repro.service.fleet.FleetService` instead of one
+        in-process service — same blocking API, N worker processes.
+        ``workers=1`` is explicitly the single-process service (the
+        fleet bench's baseline arm).  Mutually exclusive with passing a
+        prebuilt ``service``.
+        """
+        if service is not None and workers is not None:
+            raise ValueError("pass either 'service' or 'workers', not both")
+        if service is None and workers is not None and workers >= 2:
+            from .fleet import FleetConfig, FleetService
+
+            service = FleetService(
+                FleetConfig(workers=workers, service=config or ServiceConfig())
+            )
         self._service = service or GenerationService(config)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None

@@ -30,6 +30,15 @@ Sites wired through the stack:
     :func:`repro.library.save_library`; ``torn`` promotes a truncated
     shard file (a kill -9 mid-write), ``crash`` dies before the manifest
     promotion, ``raise`` fails before writing anything.
+``fleet``
+    a fleet worker process's submit path
+    (:mod:`repro.service.fleet`); ``kill`` makes the worker die with
+    ``os._exit`` — the whole-process crash the front's dead-worker
+    detection, in-flight failure and respawn machinery exist for
+    (``raise`` also works and is recovered like any submit error).
+    Respawned workers strip ``fleet``-site specs from the inherited
+    plan (:func:`reset_faults_for_worker`), so a kill schedule crashes
+    each worker at most once instead of crash-looping the respawn.
 
 Plans install programmatically (:func:`install_faults` /
 :func:`clear_faults`) or from the environment: ``$REPRO_FAULTS`` is
@@ -73,13 +82,14 @@ __all__ = [
     "install_faults",
     "maybe_fire",
     "protected",
+    "reset_faults_for_worker",
 ]
 
 #: Environment variable holding a fault plan, parsed at import.
 FAULTS_ENV = "REPRO_FAULTS"
 
-FAULT_SITES = ("model", "drc", "admit", "pool", "snapshot")
-FAULT_ACTIONS = ("raise", "crash", "torn")
+FAULT_SITES = ("model", "drc", "admit", "pool", "snapshot", "fleet")
+FAULT_ACTIONS = ("raise", "crash", "torn", "kill")
 
 
 class InjectedFault(TransientError):
@@ -245,6 +255,29 @@ def install_faults(
 def clear_faults() -> None:
     """Remove the active fault plan (sites all become no-ops again)."""
     install_faults(None)
+
+
+def reset_faults_for_worker(*, drop_sites: "tuple[str, ...]" = ()) -> None:
+    """Reinstall the active plan with fresh counters (same scope).
+
+    Called in a freshly forked fleet worker's bootstrap: the child
+    inherits the parent's injector *mid-count*, so without a reset a
+    worker's fault schedule would depend on how many site calls the
+    parent had already made — non-deterministic across runs.  Restarting
+    the occurrence counters makes every worker see the plan from zero.
+
+    ``drop_sites`` removes whole sites from the reinstalled plan; a
+    respawned worker passes ``("fleet",)`` so a ``fleet:kill`` schedule
+    crashes each worker slot once rather than killing every respawn.
+    """
+    with _INSTALL_LOCK:
+        injector = _INJECTOR
+    if injector is None:
+        return
+    specs = [
+        spec for spec in injector.plan if spec.site not in drop_sites
+    ]
+    install_faults(FaultPlan(specs), scope=injector.scope)
 
 
 def active_plan() -> "FaultPlan | None":

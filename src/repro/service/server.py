@@ -45,10 +45,7 @@ from __future__ import annotations
 import asyncio
 import json
 
-from ..diffusion.plan import plan_cache_stats
 from ..engine import GenerationRequest
-from ..engine.modelpool import model_cache_stats
-from .faults import injection_stats
 from .service import GenerationService, ResultStream
 
 __all__ = ["serve", "handle_connection", "DEFAULT_LINE_LIMIT"]
@@ -206,60 +203,11 @@ async def handle_connection(
                     await emit({"event": "health", **service.health()})
                     continue
                 if op == "stats":
-                    stats = service.stats
-                    await emit({
-                        "event": "stats",
-                        "submitted": stats.submitted,
-                        "completed": stats.completed,
-                        "failed": stats.failed,
-                        # Recovery telemetry: stage retries, requests
-                        # dropped at a deadline boundary, cancellations.
-                        "retries": stats.retries,
-                        "deadline_drops": stats.deadline_drops,
-                        "cancelled": stats.cancelled,
-                        "cycles": stats.cycles,
-                        "micro_batches": stats.micro_batches,
-                        "peak_coalesced": stats.peak_coalesced,
-                        # Live queue occupancy now; the stats gauge holds
-                        # the depth at the latest cycle dispatch.
-                        "queue_depth": service.queue_depth,
-                        "queue_depth_at_cycle": stats.queue_depth,
-                        "packed_batches": stats.packed_batches,
-                        "packed_jobs": stats.packed_jobs,
-                        "packed_fallbacks": stats.packed_fallbacks,
-                        "pack_fill": round(stats.last_pack_fill, 4),
-                        "lane_count": len(stats.lanes),
-                        # Self-tuning executor: per-mode decision counts
-                        # (explore = tuner-store miss, exploit = store
-                        # hit) plus the shared tuner's store state, and
-                        # the warm-start cache hit/miss counters.
-                        "tuner": {
-                            "decisions": dict(stats.tuner_decisions),
-                            "explores": stats.tuner_explores,
-                            "exploits": stats.tuner_exploits,
-                            "forced": stats.tuner_forced,
-                            "exec_mode": service.config.exec_mode,
-                            "store": (
-                                service.tuner.snapshot()
-                                if service.tuner is not None else None
-                            ),
-                        },
-                        "warm_caches": {
-                            "sampler_plan": plan_cache_stats(),
-                            "checkpoints": model_cache_stats(),
-                        },
-                        # Active fault-injection plan state (chaos runs;
-                        # {"installed": false} in normal operation).
-                        "faults": injection_stats(),
-                        # Per-stage latency histograms (queue/gather/
-                        # model/drc/admit), service-wide and per lane;
-                        # see docs/SERVING.md for the bucket format.
-                        "stages": stats.stages.snapshot(),
-                        "lanes": [
-                            stats.lanes[lane_id].snapshot()
-                            for lane_id in sorted(stats.lanes)
-                        ],
-                    })
+                    # The payload shape lives on the service itself: a
+                    # plain GenerationService reports its own counters
+                    # and histograms, a FleetService aggregates all of
+                    # its worker processes' payloads into one.
+                    await emit({"event": "stats", **service.stats_payload()})
                     continue
                 if op is not None:
                     raise ValueError(f"unknown op {op!r}")
@@ -311,6 +259,11 @@ async def serve(
     limit: int = DEFAULT_LINE_LIMIT,
 ) -> asyncio.AbstractServer:
     """Open the TCP front end (the service must already be started).
+
+    ``service`` is anything with the :class:`GenerationService` surface
+    (``submit``/``cancel``/``health``/``stats_payload``/``queue_depth``)
+    — in particular a :class:`~repro.service.fleet.FleetService`, so the
+    same wire protocol fronts one process or a whole worker fleet.
 
     ``limit`` bounds one line's size; an overlong line draws a
     structured error and closes that connection (only), keeping a

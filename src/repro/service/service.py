@@ -727,6 +727,73 @@ class GenerationService:
             **counters,
         }
 
+    def stats_payload(self) -> dict:
+        """The ``op: "stats"`` verb's full JSON payload.
+
+        Lives on the service (rather than inline in the TCP handler) so
+        every front end — the line-JSON server, the in-process client,
+        and the fleet front, which overrides this to aggregate across
+        worker processes — exports exactly the same shape.  See
+        ``docs/SERVING.md`` for the field reference.
+        """
+        from ..diffusion.plan import plan_cache_stats
+        from ..engine.modelpool import model_cache_stats
+        from .faults import injection_stats
+
+        stats = self.stats
+        with self._stats_lock:
+            tuner_decisions = dict(stats.tuner_decisions)
+        return {
+            "submitted": stats.submitted,
+            "completed": stats.completed,
+            "failed": stats.failed,
+            # Recovery telemetry: stage retries, requests dropped at a
+            # deadline boundary, cancellations.
+            "retries": stats.retries,
+            "deadline_drops": stats.deadline_drops,
+            "cancelled": stats.cancelled,
+            "cycles": stats.cycles,
+            "micro_batches": stats.micro_batches,
+            "peak_coalesced": stats.peak_coalesced,
+            # Live queue occupancy now; the stats gauge holds the depth
+            # at the latest cycle dispatch.
+            "queue_depth": self.queue_depth,
+            "queue_depth_at_cycle": stats.queue_depth,
+            "packed_batches": stats.packed_batches,
+            "packed_jobs": stats.packed_jobs,
+            "packed_fallbacks": stats.packed_fallbacks,
+            "pack_fill": round(stats.last_pack_fill, 4),
+            "lane_count": len(stats.lanes),
+            # Self-tuning executor: per-mode decision counts (explore =
+            # tuner-store miss, exploit = store hit) plus the shared
+            # tuner's store state, and the warm-start cache counters.
+            "tuner": {
+                "decisions": tuner_decisions,
+                "explores": stats.tuner_explores,
+                "exploits": stats.tuner_exploits,
+                "forced": stats.tuner_forced,
+                "exec_mode": self.config.exec_mode,
+                "store": (
+                    self.tuner.snapshot() if self.tuner is not None else None
+                ),
+            },
+            "warm_caches": {
+                "sampler_plan": plan_cache_stats(),
+                "checkpoints": model_cache_stats(),
+            },
+            # Active fault-injection plan state (chaos runs;
+            # {"installed": false} in normal operation).
+            "faults": injection_stats(),
+            # Per-stage latency histograms (queue/gather/model/drc/
+            # admit), service-wide and per lane; see docs/SERVING.md
+            # for the bucket format.
+            "stages": stats.stages.snapshot(),
+            "lanes": [
+                stats.lanes[lane_id].snapshot()
+                for lane_id in sorted(stats.lanes)
+            ],
+        }
+
     # ------------------------------------------------------------------
     # Scheduler loop (event-loop side)
     # ------------------------------------------------------------------

@@ -88,6 +88,32 @@ class LatencyHistogram:
                     return self.max_seconds  # overflow bucket
             return self.max_seconds
 
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from a :meth:`snapshot` wire payload.
+
+        The inverse of :meth:`snapshot`, up to bucket resolution: bucket
+        counts, ``count``, ``total_seconds`` and ``max_seconds`` round-
+        trip exactly, so ``from_snapshot(a.snapshot()).merge(...)`` is
+        how a fleet front folds per-worker histograms (received as JSON
+        over the wire) into one fleet-wide histogram through the same
+        :meth:`merge` path the in-process lanes use.  Unknown bucket
+        bounds (a snapshot from a build with different ``_BOUNDS``) fold
+        into the overflow bucket rather than raising.
+        """
+        hist = cls()
+        bounds_ms = {round(bound * 1e3, 4): i for i, bound in enumerate(_BOUNDS)}
+        for le_ms, n in snap.get("buckets", []):
+            index = (
+                len(_BOUNDS) if le_ms is None
+                else bounds_ms.get(float(le_ms), len(_BOUNDS))
+            )
+            hist._counts[index] += int(n)
+        hist.count = int(snap.get("count", 0))
+        hist.total_seconds = float(snap.get("total_ms", 0.0)) / 1e3
+        hist.max_seconds = float(snap.get("max_ms", 0.0)) / 1e3
+        return hist
+
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold ``other``'s observations into this histogram.
 
@@ -159,6 +185,20 @@ class StageLatencies:
         """Fold ``other``'s per-stage histograms into this one's."""
         for stage in STAGES:
             self._stages[stage].merge(other._stages[stage])
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a wire-format :meth:`snapshot` payload into this instance.
+
+        The fleet front aggregates per-worker stage histograms with this:
+        each worker ships its ``stages`` snapshot over the wire, and the
+        front rolls them all into one :class:`StageLatencies` through the
+        same :meth:`LatencyHistogram.merge` path lanes use in-process.
+        """
+        for stage in STAGES:
+            if stage in snap:
+                self._stages[stage].merge(
+                    LatencyHistogram.from_snapshot(snap[stage])
+                )
 
     def __getitem__(self, stage: str) -> LatencyHistogram:
         return self._stages[stage]
