@@ -35,6 +35,13 @@ worker thread, so the four groups' model stages — BLAS-heavy matmuls
 that release the GIL — overlap on multi-core hosts.  Outputs are
 asserted bit-identical across lane counts.
 
+A **payload delivery** arm (ISSUE 10) serves one request burst over a
+real TCP connection three times — clip payloads off, base64, npz — via
+:class:`~repro.service.RemoteClient`, recording wall seconds, requests/s
+and wire bytes per mode, and asserting the decoded clips are
+bit-identical to serial generation.  There is no perf gate: the section
+documents what delivery costs, it does not race the encodings.
+
 The same mixed burst is then served through the **multi-process fleet**
 (ISSUE 9): one worker process (the single-process service baseline) vs
 one worker per compatibility key, fronted by the shard-aware
@@ -406,6 +413,84 @@ def _percentile(values, q):
     return float(np.percentile(np.asarray(values), q))
 
 
+# Payload delivery arms: the same request burst served over real TCP
+# with clip payloads off / base64 / npz, measuring what delivery itself
+# costs (encode + page + wire + reassemble + decode) on top of
+# accounting-only serving.  The rule backend keeps generation cheap so
+# the arms are delivery-dominated, and deterministic so the decoded
+# clips can be asserted bit-identical to serial generation.
+PAYLOAD_CLIENTS = 8
+PAYLOAD_COUNT = 16
+PAYLOAD_SEEDS = list(range(300, 300 + PAYLOAD_CLIENTS))
+
+
+def run_payload_bench():
+    """Wall/bytes per payload mode over a live TCP server; asserts identity."""
+    import asyncio
+
+    from repro.drc.decks import deck_by_name
+    from repro.service import GenerationService, RemoteClient, serve
+    from repro.zoo.corpora import EXPERIMENT_GRID
+
+    deck = deck_by_name("basic", EXPERIMENT_GRID)
+    serial = [
+        run_generation(GenerationRequest(
+            backend="rule", count=PAYLOAD_COUNT, seed=seed, deck=deck
+        ))
+        for seed in PAYLOAD_SEEDS
+    ]
+
+    async def run_all():
+        service = GenerationService(ServiceConfig(
+            queue_size=PAYLOAD_CLIENTS * 2,
+            scheduler=SchedulerConfig(
+                max_batch_requests=PAYLOAD_CLIENTS, gather_window_s=0.01
+            ),
+        ))
+        await service.start()
+        server = await serve(service, "127.0.0.1", 0, default_deck="basic")
+        port = server.sockets[0].getsockname()[1]
+        arms = {}
+        try:
+            for mode in ("none", "b64", "npz"):
+                def burst():
+                    with RemoteClient(port=port) as client:
+                        t0 = time.perf_counter()
+                        results = client.generate_many([
+                            {"backend": "rule", "count": PAYLOAD_COUNT,
+                             "seed": seed, "payload": mode}
+                            for seed in PAYLOAD_SEEDS
+                        ])
+                        wall = time.perf_counter() - t0
+                        return wall, client.bytes_read, results
+                arms[mode] = await asyncio.to_thread(burst)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+        return arms
+
+    arms = asyncio.run(run_all())
+    for mode in ("b64", "npz"):
+        _, _, results = arms[mode]
+        for result, want in zip(results, serial):
+            assert result["legal_mask"] == [int(v) for v in want.legal]
+            assert len(result["clips"]) == len(want.clips)
+            for a, b in zip(want.clips, result["clips"]):
+                np.testing.assert_array_equal(
+                    a, b,
+                    err_msg=f"{mode} payload delivery diverged from serial",
+                )
+    return {
+        mode: {
+            "wall_seconds": round(wall, 4),
+            "requests_per_s": round(PAYLOAD_CLIENTS / wall, 2),
+            "wire_bytes": bytes_read,
+        }
+        for mode, (wall, bytes_read, _) in arms.items()
+    }
+
+
 def run_bench():
     """Times and outputs per mode; asserts bitwise-equal results."""
     requests = _requests()
@@ -572,7 +657,8 @@ def render(walls, latencies) -> str:
 
 
 def write_artifact(walls, latencies, stats, lane_walls, lane_stats,
-                   trajectory, fleet_walls=None, fleet_payloads=None) -> str:
+                   trajectory, fleet_walls=None, fleet_payloads=None,
+                   payload_arms=None) -> str:
     from repro.experiments.common import bench_dir
 
     coalesced = stats["coalesced"]
@@ -681,6 +767,24 @@ def write_artifact(walls, latencies, stats, lane_walls, lane_stats,
                 for w in multi["fleet"]["workers"]
             ],
         }
+    if payload_arms is not None:
+        payload["payload_delivery"] = {
+            "clients": PAYLOAD_CLIENTS,
+            "count_per_request": PAYLOAD_COUNT,
+            "backend": "rule",
+            "deck": "basic",
+            "modes": payload_arms,
+            # What the clip bytes cost relative to accounting-only
+            # serving, per encoding (npz compresses binary clips well
+            # below the b64 expansion of the raw bytes).
+            "wire_bytes_vs_none": {
+                mode: round(
+                    payload_arms[mode]["wire_bytes"]
+                    / max(1, payload_arms["none"]["wire_bytes"]), 2
+                )
+                for mode in ("b64", "npz")
+            },
+        }
     out = bench_dir() / "BENCH_service.json"
     out.write_text(json.dumps(payload, indent=2))
     return str(out)
@@ -691,10 +795,16 @@ def bench_results():
     walls, latencies, stats, trajectory = run_bench()
     lane_walls, lane_stats, lane_trajectory = run_lanes_bench()
     fleet_walls, fleet_payloads, fleet_trajectory = run_fleet_bench()
+    payload_arms = run_payload_bench()
     path = write_artifact(
         walls, latencies, stats, lane_walls, lane_stats,
         trajectory + lane_trajectory + fleet_trajectory,
-        fleet_walls, fleet_payloads,
+        fleet_walls, fleet_payloads, payload_arms,
+    )
+    payload_line = "payload: " + "  ".join(
+        f"{mode} {arm['wall_seconds']:.3f}s/"
+        f"{arm['wire_bytes'] / 1024:.0f}KiB"
+        for mode, arm in payload_arms.items()
     )
     lane_line = (
         f"lanes: 1 lane {lane_walls[1]:.3f}s vs {LANE_KEYS} lanes "
@@ -709,14 +819,15 @@ def bench_results():
     report(
         "bench_service: serving modes",
         render(walls, latencies)
-        + f"\n{lane_line}\n{fleet_line}\n[artifact: {path}]",
+        + f"\n{lane_line}\n{fleet_line}\n{payload_line}"
+        + f"\n[artifact: {path}]",
     )
-    return walls, latencies, stats, lane_walls, fleet_walls
+    return walls, latencies, stats, lane_walls, fleet_walls, payload_arms
 
 
 class TestServingThroughput:
     def test_coalesced_micro_batching_beats_sequential(self, bench_results):
-        walls, _, _, _, _ = bench_results
+        walls, _, _, _, _, _ = bench_results
         if (os.cpu_count() or 1) < 2 and walls["coalesced"] > walls["sequential"]:
             # One core leaves no parallel slack between the service's
             # loop/worker threads and the executor pools; the acceptance
@@ -740,7 +851,7 @@ class TestServingThroughput:
         multi-core hosts (the CI benchmark job) with the same
         single-core escape hatch as the other gates.
         """
-        walls, _, stats, _, _ = bench_results
+        walls, _, stats, _, _, _ = bench_results
         ratio = walls["coalesced"] / walls["packed"]
         if (os.cpu_count() or 1) < 2 and ratio < 1.3:
             pytest.skip(
@@ -762,7 +873,7 @@ class TestServingThroughput:
         hosts (the CI benchmark job) — one core serializes the lane
         threads, so single-core hosts skip rather than measure noise.
         """
-        _, _, _, lane_walls, _ = bench_results
+        _, _, _, lane_walls, _, _ = bench_results
         ratio = lane_walls[1] / lane_walls[LANE_KEYS]
         if (os.cpu_count() or 1) < 2 and ratio < 1.3:
             pytest.skip(
@@ -787,7 +898,7 @@ class TestServingThroughput:
         only add fork/IPC overhead, so single-core hosts skip rather
         than measure noise.
         """
-        _, _, _, _, fleet_walls = bench_results
+        _, _, _, _, fleet_walls, _ = bench_results
         ratio = fleet_walls[1] / fleet_walls[LANE_KEYS]
         if (os.cpu_count() or 1) < 2 and ratio < 1.3:
             pytest.skip(
@@ -806,6 +917,7 @@ if __name__ == "__main__":  # pragma: no cover
     walls, latencies, stats, trajectory = run_bench()
     lane_walls, lane_stats, lane_trajectory = run_lanes_bench()
     fleet_walls, fleet_payloads, fleet_trajectory = run_fleet_bench()
+    payload_arms = run_payload_bench()
     print(render(walls, latencies))
     print(
         f"lanes: 1 lane {lane_walls[1]:.3f}s vs {LANE_KEYS} lanes "
@@ -817,9 +929,14 @@ if __name__ == "__main__":  # pragma: no cover
         f"{fleet_walls[LANE_KEYS]:.3f}s "
         f"({fleet_walls[1] / fleet_walls[LANE_KEYS]:.2f}x)"
     )
+    print("payload: " + "  ".join(
+        f"{mode} {arm['wall_seconds']:.3f}s/"
+        f"{arm['wire_bytes'] / 1024:.0f}KiB"
+        for mode, arm in payload_arms.items()
+    ))
     path = write_artifact(
         walls, latencies, stats, lane_walls, lane_stats,
         trajectory + lane_trajectory + fleet_trajectory,
-        fleet_walls, fleet_payloads,
+        fleet_walls, fleet_payloads, payload_arms,
     )
     print(f"[artifact: {path}]")

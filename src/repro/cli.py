@@ -104,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
              "protocol (stdlib only, no web framework)",
     )
     serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                       help="also serve an HTTP/1.1 gateway on this port: "
+                            "POST /v1/generate, GET /v1/requests/<id> "
+                            "(+ /events streaming), /v1/stats, /v1/healthz "
+                            "(default: TCP only)")
     serve.add_argument("--port", type=int, default=8157,
                        help="TCP port (0 picks a free one)")
     serve.add_argument("--deck", default="advanced",
@@ -456,6 +461,17 @@ def _cmd_serve(args) -> int:
               f"lanes={config.lanes}, max-batch={args.max_batch})")
         print('protocol: one JSON object per line, e.g. '
               '{"backend": "rule", "count": 8, "seed": 0}')
+        gateway = None
+        if args.http_port is not None:
+            from .service import serve_http
+
+            gateway = await serve_http(
+                service, args.host, args.http_port, default_deck=args.deck
+            )
+            ghost, gport = gateway.server.sockets[0].getsockname()[:2]
+            print(f"repro serve: HTTP gateway on http://{ghost}:{gport} "
+                  "(POST /v1/generate, GET /v1/requests/<id>, /v1/stats, "
+                  "/v1/healthz)")
 
         # Graceful drain: SIGTERM (orchestrators) and SIGINT (Ctrl-C)
         # both stop the accept loop, refuse new submissions and give
@@ -479,6 +495,8 @@ def _cmd_serve(args) -> int:
                           f"(timeout {args.drain_timeout:g}s)")
                     server.close()
                     await server.wait_closed()
+                    if gateway is not None:
+                        await gateway.close()
                     if args.drain_timeout > 0:
                         drained = await service.drain(
                             timeout=args.drain_timeout
@@ -491,6 +509,8 @@ def _cmd_serve(args) -> int:
         finally:
             for sig in hooked:
                 loop.remove_signal_handler(sig)
+            if gateway is not None:
+                await gateway.close()
             await service.stop()
             if args.drc_cache_dir:
                 from .drc.cache import save_shared_caches

@@ -23,9 +23,15 @@ machinery in a long-lived asyncio service:
 * :class:`SessionManager` / :class:`SessionConfig` — shared or per-tenant
   stores, snapshot-loaded and checkpointed via :mod:`repro.library`;
 * :class:`ServiceClient` — the blocking in-process client used by tests
-  and benchmarks;
+  and benchmarks; :class:`RemoteClient` — its over-the-wire TCP
+  counterpart, with paged clip-payload reassembly and decode;
 * :func:`serve` — the stdlib TCP line-JSON front end behind
-  ``repro serve``;
+  ``repro serve`` — with opt-in clip payload delivery
+  (:mod:`repro.service.payload`: base64/npz encodings, paged under the
+  line limit via ``payload_page``/``payload_done`` frames);
+* :func:`serve_http` / :class:`HttpGateway` — the stdlib HTTP/1.1
+  gateway (``repro serve --http-port``): ``POST /v1/generate``, polled
+  and chunked-streamed results, ``/v1/stats``, ``/v1/healthz``;
 * :class:`FleetService` / :class:`FleetConfig` — the multi-process
   shard-aware front (``repro serve --workers N``): N forked worker
   processes each running a full service, sticky key→worker routing,
@@ -53,7 +59,7 @@ across a micro-batch.  ``docs/SERVING.md`` documents the wire protocol
 and telemetry; ``docs/ARCHITECTURE.md`` the determinism contract.
 """
 
-from .client import ClientTicket, ServiceClient
+from .client import ClientTicket, RemoteClient, ServiceClient
 from .faults import (
     FAULT_ACTIONS,
     FAULT_SITES,
@@ -76,14 +82,29 @@ from .fleet import (
     default_workers,
     reconcile_worker_snapshots,
 )
+from .gateway import DEFAULT_MAX_BODY, HttpGateway, serve_http
 from .lanes import Lane, LaneManager
+from .payload import (
+    PAYLOAD_MODES,
+    AssembledPayload,
+    PayloadAssembler,
+    PayloadError,
+    decode_payload,
+    encode_payload,
+    payload_frames,
+)
 from .scheduler import (
     MicroBatch,
     MicroBatchScheduler,
     PendingRequest,
     SchedulerConfig,
 )
-from .server import handle_connection, serve
+from .server import (
+    DEFAULT_LINE_LIMIT,
+    handle_connection,
+    serve,
+    stream_events,
+)
 from .service import (
     DeadlineExceeded,
     GenerationService,
@@ -96,11 +117,15 @@ from .session import SHARED_SESSION, Session, SessionConfig, SessionManager
 from .stats import STAGES, LaneStats, LatencyHistogram, StageLatencies
 
 __all__ = [
+    "DEFAULT_LINE_LIMIT",
+    "DEFAULT_MAX_BODY",
     "FAULTS_ENV",
     "FAULT_ACTIONS",
     "FAULT_SITES",
+    "PAYLOAD_MODES",
     "SHARED_SESSION",
     "STAGES",
+    "AssembledPayload",
     "ClientTicket",
     "DeadlineExceeded",
     "FaultPlan",
@@ -109,6 +134,7 @@ __all__ = [
     "FleetService",
     "FleetStats",
     "GenerationService",
+    "HttpGateway",
     "InjectedFault",
     "Lane",
     "LaneManager",
@@ -116,7 +142,10 @@ __all__ = [
     "LatencyHistogram",
     "MicroBatch",
     "MicroBatchScheduler",
+    "PayloadAssembler",
+    "PayloadError",
     "PendingRequest",
+    "RemoteClient",
     "RequestCancelled",
     "ResultStream",
     "SchedulerConfig",
@@ -129,13 +158,18 @@ __all__ = [
     "StageLatencies",
     "WORKERS_ENV",
     "active_plan",
+    "decode_payload",
     "default_workers",
     "clear_faults",
+    "encode_payload",
     "handle_connection",
     "injection_stats",
     "install_faults",
     "maybe_fire",
+    "payload_frames",
     "reconcile_worker_snapshots",
     "reset_faults_for_worker",
     "serve",
+    "serve_http",
+    "stream_events",
 ]

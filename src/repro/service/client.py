@@ -1,4 +1,4 @@
-"""In-process client for the generation service.
+"""Clients for the generation service: in-process and over the wire.
 
 :class:`ServiceClient` runs a :class:`~repro.service.GenerationService`
 on a private event loop in a background thread and exposes a blocking
@@ -16,19 +16,28 @@ the full queue/scheduler/streaming path without writing any asyncio:
 ``generate_many`` submits every request before waiting on any result,
 which is what lets the service's gather window coalesce them into
 micro-batches — the in-process equivalent of N concurrent clients.
+
+:class:`RemoteClient` is the over-the-wire counterpart: a blocking
+socket client for the TCP line-JSON protocol that requests clip
+payloads and — with ``decode_clips=True`` — reassembles the paged
+``payload_page`` frames back into numpy arrays bit-identical to what a
+serial ``run_generation`` of the same request would produce.
 """
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import json
+import socket
 import threading
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from ..engine import CandidateBatch, GenerationBatch, GenerationRequest
+from .payload import PayloadAssembler
 from .service import GenerationService, ResultStream, ServiceConfig
 
-__all__ = ["ClientTicket", "ServiceClient"]
+__all__ = ["ClientTicket", "RemoteClient", "ServiceClient"]
 
 
 class ClientTicket:
@@ -76,10 +85,16 @@ class ClientTicket:
         Works after the client is closed too: a stream the service
         resolved before shutdown still yields its result (or error).
 
-        On ``timeout`` the waiting coroutine is cancelled *and* the
-        request itself is cancelled service-side, so a caller that gave
-        up does not leave the request burning lane time (and the
-        abandoned awaiter does not leak on the loop).
+        On ``timeout`` the waiting coroutine is cancelled *and* a
+        service-side cancellation of the request is requested, so a
+        caller that gave up does not leave the request burning lane
+        time (and the abandoned awaiter does not leak on the loop).
+        Cancellation lands at the request's next stage boundary: a
+        request that already passed its last boundary when the timeout
+        fired still commits normally service-side (its results are
+        admitted to the session), even though this call raised —
+        ``timeout`` bounds the *wait*, it is not a guarantee the
+        request died.
         """
         if self._loop.is_closed():
             return self._stream.result_now()
@@ -221,3 +236,172 @@ class ServiceClient:
             self.submit(request, session=session) for request in requests
         ]
         return [ticket.result(timeout) for ticket in tickets]
+
+
+class RemoteClient:
+    """Blocking TCP client for the line-JSON wire protocol.
+
+    Speaks to a ``repro serve`` front (single service or fleet) over a
+    plain socket — the out-of-process counterpart of
+    :class:`ServiceClient`.  With ``decode_clips=True`` (the default),
+    generate results that requested a payload come back with a
+    ``"clips"`` key holding decoded numpy arrays — reassembled from the
+    paged ``payload_page`` frames and bit-identical to a serial
+    ``run_generation`` of the same request — plus the server's
+    ``legal_mask``.  With ``decode_clips=False`` the raw payload frames
+    are dropped and only accounting is returned.
+
+        with RemoteClient(host, port) as client:
+            result = client.generate(
+                {"backend": "rule", "count": 8, "seed": 3, "payload": "npz"}
+            )
+            clips = result["clips"]           # list of numpy arrays
+
+    ``generate_many`` pipelines every request on one connection before
+    reading any result, so the server's gather window can coalesce them
+    exactly like N concurrent clients.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8157,
+        *,
+        timeout: float = 120.0,
+        decode_clips: bool = True,
+    ):
+        self._address = (host, port)
+        self._timeout = timeout
+        self._decode = decode_clips
+        self._sock: socket.socket | None = None
+        self._file = None
+        #: Total payload-bearing bytes read off the wire (benchmarking).
+        self.bytes_read = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> "RemoteClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                self._address, timeout=self._timeout
+            )
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        file, self._file = self._file, None
+        if file is not None:
+            file.close()
+        if sock is not None:
+            sock.close()
+
+    def __enter__(self) -> "RemoteClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Wire primitives
+    # ------------------------------------------------------------------
+    def send(self, message: dict) -> None:
+        if self._sock is None:
+            raise RuntimeError("client is not connected (use 'with' or connect())")
+        self._sock.sendall(json.dumps(message).encode() + b"\n")
+
+    def recv(self) -> dict:
+        """Read one event frame (raises ``ConnectionError`` on EOF)."""
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        self.bytes_read += len(line)
+        event = json.loads(line)
+        if not isinstance(event, dict):
+            raise ValueError("server sent a non-object frame")
+        return event
+
+    def _roundtrip(self, message: dict, expect: str) -> dict:
+        self.send(message)
+        event = self.recv()
+        if event.get("event") == "error" and expect != "error":
+            raise RuntimeError(event.get("message", "server error"))
+        if event.get("event") != expect:
+            raise RuntimeError(f"expected {expect!r} event, got {event!r}")
+        return event
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> None:
+        self._roundtrip({"op": "ping"}, "pong")
+
+    def stats(self) -> dict:
+        return self._roundtrip({"op": "stats"}, "stats")
+
+    def health(self) -> dict:
+        return self._roundtrip({"op": "health"}, "health")
+
+    def cancel(self, request_id: str) -> bool:
+        event = self._roundtrip(
+            {"op": "cancel", "request_id": request_id}, "cancelled"
+        )
+        return bool(event.get("cancelled"))
+
+    def generate(self, message: dict) -> dict:
+        """Submit one generate request and block for its result event.
+
+        Returns the result event dict; when the request asked for a
+        payload and ``decode_clips`` is on, ``"clips"`` (decoded numpy
+        arrays) is attached once the payload frames reassemble.  A
+        server-side failure raises ``RuntimeError`` with the error
+        event's message.
+        """
+        return self.generate_many([message])[0]
+
+    def generate_many(self, messages: "Sequence[dict]") -> "list[dict]":
+        """Pipeline several generate requests on this one connection."""
+        ids: list[str] = []
+        for message in messages:
+            event = self._roundtrip(message, "accepted")
+            ids.append(event["request_id"])
+        assembler = PayloadAssembler()
+        results: dict[str, dict] = {}
+        errors: dict[str, str] = {}
+        chunks: dict[str, list[Any]] = {rid: [] for rid in ids}
+        # A request is outstanding until its terminal event has fully
+        # arrived: the result (or error) frame *and*, when the result
+        # announced a payload, that payload's ``payload_done`` frame —
+        # which trails the result event on the wire.
+        outstanding = set(ids)
+        while outstanding:
+            event = self.recv()
+            name = event.get("event")
+            rid = event.get("request_id")
+            if name == "error":
+                errors[rid or "?"] = event.get("message", "server error")
+                outstanding.discard(rid)
+                continue
+            if name == "result":
+                results[rid] = event
+                if "payload" not in event:
+                    outstanding.discard(rid)
+            if self._decode:
+                done = assembler.feed(event)
+                if done is not None:
+                    if done.kind == "result":
+                        results[done.request_id]["clips"] = done.arrays
+                    else:
+                        chunks[done.request_id].append(done.arrays)
+            if name == "payload_done" and event.get("for") == "result":
+                outstanding.discard(rid)
+        out: list[dict] = []
+        for rid in ids:
+            if rid in errors:
+                raise RuntimeError(errors[rid])
+            result = results[rid]
+            if self._decode and chunks.get(rid):
+                result["chunk_arrays"] = chunks[rid]
+            out.append(result)
+        return out

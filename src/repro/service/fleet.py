@@ -164,12 +164,18 @@ class FleetStats:
     ``crashed_requests`` counts requests failed because their worker
     died mid-flight (also included in ``failed``); ``respawns`` counts
     worker slots re-forked after a crash; ``unroutable`` counts requests
-    failed before reaching any worker (no live workers / poisoned key).
+    failed before reaching any worker (no live workers / poisoned key);
+    ``cancelled`` counts terminal ``RequestCancelled`` resolutions seen
+    at the front (also included in ``failed``) — wherever the mark was
+    applied, every cancellation resolves through ``_resolve`` exactly
+    once, so this is the fleet-wide cancellation count a disconnecting
+    TCP client's sweep shows up in.
     """
 
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    cancelled: int = 0
     crashed_requests: int = 0
     unroutable: int = 0
     respawns: int = 0
@@ -955,6 +961,8 @@ class FleetService:
                 self.stats.completed += 1
             else:
                 self.stats.failed += 1
+                if isinstance(error, RequestCancelled):
+                    self.stats.cancelled += 1
         if batch is not None:
             self._sequencer.release(
                 pending.arrival,
@@ -1275,6 +1283,7 @@ class FleetService:
                 "submitted": self.stats.submitted,
                 "completed": self.stats.completed,
                 "failed": self.stats.failed,
+                "cancelled": self.stats.cancelled,
                 "crashed_requests": self.stats.crashed_requests,
                 "unroutable": self.stats.unroutable,
                 "respawns": self.stats.respawns,

@@ -1,0 +1,341 @@
+"""Protocol fuzz tests: malformed input never crashes, stalls, or leaks.
+
+Seeded random malformed frames — truncated JSON, wrong-typed fields,
+absurd values, binary garbage, oversized lines — are thrown at both
+wire fronts.  The contract under fuzz:
+
+* TCP: every response line is a structured JSON event; a connection
+  either keeps answering (``ping`` after the garbage still pongs) or
+  closes cleanly (EOF) — never a traceback on the wire, never a stall.
+* HTTP: every response is a proper status line with a JSON body, or a
+  clean close — and the gateway answers ``/v1/healthz`` afterwards.
+
+Timeouts on every read enforce "never a stall": a wedged server fails
+the test instead of hanging it.  The same contract is asserted with an
+injected fault plan active (the CI chaos job additionally runs this
+whole file under ``REPRO_FAULTS`` schedules).
+"""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.service import (
+    GenerationService,
+    ServiceConfig,
+    clear_faults,
+    install_faults,
+    serve,
+    serve_http,
+)
+
+SEED = 20250808
+READ_TIMEOUT = 30
+
+
+def _fuzz_lines(rng, count):
+    """A deterministic corpus of hostile byte lines.
+
+    Mutations are built so that an accidentally *valid* generate request
+    stays tiny (count ≤ 8) — the point is protocol robustness, not
+    burning CPU on a lucky giant request.
+    """
+    valid = json.dumps({
+        "backend": "rule", "count": 4, "seed": 1, "deck": "basic"
+    })
+    wrong_typed_values = [
+        None, True, -7, 3.5, "zip", "", [1, 2], {"nested": 1}, "\x00",
+        "a" * 200,
+    ]
+    fields = [
+        "op", "backend", "count", "seed", "payload", "request_id",
+        "session", "priority", "deadline_s", "params", "deck",
+    ]
+    lines = []
+    for _ in range(count):
+        mode = int(rng.integers(6))
+        if mode == 0:  # truncated JSON
+            cut = int(rng.integers(1, len(valid)))
+            lines.append(valid[:cut].encode())
+        elif mode == 1:  # random field of a valid request wrong-typed
+            message = json.loads(valid)
+            for _ in range(int(rng.integers(1, 4))):
+                field = fields[int(rng.integers(len(fields)))]
+                value = wrong_typed_values[
+                    int(rng.integers(len(wrong_typed_values)))
+                ]
+                message[field] = value
+            lines.append(json.dumps(message).encode())
+        elif mode == 2:  # absurd values in protocol-shaped fields
+            message = {
+                "op": ["cancel", "payload_page", "x" * 300, 12][
+                    int(rng.integers(4))
+                ],
+                "request_id": ["", "-" * 500, 7, None][int(rng.integers(4))],
+                "seq": int(rng.integers(-10, 10)),
+                "pages": int(rng.integers(-5, 5)) * 10 ** int(rng.integers(9)),
+                "payload": ["none", "b64", "npz", "NPZ", 0][
+                    int(rng.integers(5))
+                ],
+            }
+            lines.append(json.dumps(message).encode())
+        elif mode == 3:  # valid JSON, non-object
+            lines.append(json.dumps(
+                [[], 42, "text", None, [1, {"a": 2}]][int(rng.integers(5))]
+            ).encode())
+        elif mode == 4:  # raw binary garbage (often invalid utf-8)
+            lines.append(bytes(rng.integers(0, 256, int(rng.integers(1, 80)),
+                                            dtype="uint8").tobytes())
+                         .replace(b"\n", b"\xff"))
+        else:  # single-character mutation of a valid request
+            raw = bytearray(valid.encode())
+            raw[int(rng.integers(len(raw)))] = int(rng.integers(32, 127))
+            lines.append(bytes(raw))
+    return lines
+
+
+async def _tcp_fuzz_round(port, line):
+    """Send one hostile line then a ping; classify the outcome."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(line + b"\n")
+        writer.write(b'{"op": "ping"}\n')
+        await writer.drain()
+        writer.write_eof()
+        frames = []
+        while True:
+            raw = await asyncio.wait_for(
+                reader.readline(), timeout=READ_TIMEOUT
+            )
+            if not raw:
+                break
+            frames.append(json.loads(raw))
+        return frames
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def _run_tcp_corpus(lines, *, limit=8192):
+    service = GenerationService(ServiceConfig())
+    await service.start()
+    server = await serve(service, "127.0.0.1", 0, limit=limit)
+    port = server.sockets[0].getsockname()[1]
+    outcomes = []
+    try:
+        for line in lines:
+            outcomes.append((line, await _tcp_fuzz_round(port, line)))
+        # The accept loop survived the whole corpus: a fresh, fully
+        # valid request still completes.
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(
+            b'{"backend": "rule", "count": 2, "seed": 1, "deck": "basic"}\n'
+        )
+        await writer.drain()
+        writer.write_eof()
+        final = []
+        while raw := await asyncio.wait_for(
+            reader.readline(), timeout=READ_TIMEOUT
+        ):
+            final.append(json.loads(raw))
+        writer.close()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.stop()
+    return outcomes, final
+
+
+def _assert_tcp_contract(outcomes, final):
+    for line, frames in outcomes:
+        # Every frame the server wrote parsed as JSON (json.loads in the
+        # reader already enforced it); each must be a tagged event.
+        for frame in frames:
+            assert isinstance(frame, dict) and "event" in frame, (
+                line, frame
+            )
+        # The connection either kept serving (the trailing ping ponged)
+        # or closed cleanly after reporting — e.g. an oversized line.
+        if not any(f["event"] == "pong" for f in frames):
+            assert frames and frames[-1]["event"] == "error", (line, frames)
+    assert [f["event"] for f in final][-1] == "result"
+
+
+class TestTcpFuzz:
+    def test_seeded_corpus_never_breaks_the_server(self):
+        np = pytest.importorskip("numpy")
+        rng = np.random.default_rng(SEED)
+        lines = _fuzz_lines(rng, 60)
+        # Oversized-line cases: beyond the 8 KiB test limit.
+        lines.append(b'{"backend": "' + b"A" * 16384 + b'"}')
+        lines.append(b"B" * 16384)
+        outcomes, final = asyncio.run(_run_tcp_corpus(lines))
+        _assert_tcp_contract(outcomes, final)
+
+    def test_corpus_under_injected_faults(self):
+        """Same contract while a fault plan is firing service-side."""
+        np = pytest.importorskip("numpy")
+        rng = np.random.default_rng(SEED + 1)
+        install_faults("model:raise@1,drc:raise@2")
+        try:
+            outcomes, final = asyncio.run(
+                _run_tcp_corpus(_fuzz_lines(rng, 20))
+            )
+        finally:
+            clear_faults()
+        _assert_tcp_contract(outcomes, final)
+
+    def test_pipelined_garbage_between_valid_requests(self):
+        """Garbage interleaved with real work corrupts neither."""
+
+        async def run():
+            service = GenerationService(ServiceConfig())
+            await service.start()
+            server = await serve(service, "127.0.0.1", 0, limit=8192)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    b'{"backend": "rule", "count": 2, "seed": 1, '
+                    b'"deck": "basic", "request_id": "ok-1"}\n'
+                    b'{"op": 42}\n'
+                    b'not json at all\n'
+                    b'{"backend": "rule", "count": 2, "seed": 2, '
+                    b'"deck": "basic", "request_id": "ok-2"}\n'
+                )
+                await writer.drain()
+                writer.write_eof()
+                frames = []
+                while raw := await asyncio.wait_for(
+                    reader.readline(), timeout=READ_TIMEOUT
+                ):
+                    frames.append(json.loads(raw))
+                writer.close()
+                return frames
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.stop()
+
+        frames = asyncio.run(run())
+        results = [f for f in frames if f["event"] == "result"]
+        assert {f["request_id"] for f in results} == {"ok-1", "ok-2"}
+        assert len([f for f in frames if f["event"] == "error"]) == 2
+
+
+def _http_fuzz_payloads(rng, count):
+    """Raw byte blobs thrown at the HTTP listener (seeded)."""
+    base = (
+        b"POST /v1/generate HTTP/1.1\r\nHost: x\r\n"
+        b"Content-Length: 20\r\n\r\n"
+        b'{"backend": "rule"}\n'
+    )
+    payloads = [
+        b"",                                   # immediate close
+        b"\r\n\r\n",
+        b"GET\r\n\r\n",                        # malformed request line
+        b"FROB /v1/stats HTTP/1.1\r\n\r\n",    # unknown method, known path
+        b"GET /v1/stats SPDY/9\r\n\r\n",       # unsupported protocol
+        b"GET /v1/stats HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        b"GET /v1/stats HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        b"POST /v1/generate HTTP/1.1\r\nContent-Length: 999\r\n\r\nshort",
+        b"\xff\xfe garbage \x00\r\n\r\n",
+        b"GET " + b"/a" * 5000 + b" HTTP/1.1\r\n\r\n",  # huge path
+    ]
+    for _ in range(count):
+        raw = bytearray(base)
+        for _ in range(int(rng.integers(1, 6))):
+            raw[int(rng.integers(len(raw)))] = int(rng.integers(0, 256))
+        payloads.append(bytes(raw))
+    return payloads
+
+
+async def _http_fuzz_round(port, payload):
+    """Fire raw bytes, half-close, read whatever comes back."""
+
+    def roundtrip():
+        with socket.create_connection(
+            ("127.0.0.1", port), timeout=READ_TIMEOUT
+        ) as sock:
+            if payload:
+                sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+            received = b""
+            while block := sock.recv(65536):
+                received += block
+            return received
+
+    return await asyncio.to_thread(roundtrip)
+
+
+class TestHttpFuzz:
+    def test_seeded_corpus_never_breaks_the_gateway(self):
+        np = pytest.importorskip("numpy")
+        rng = np.random.default_rng(SEED + 2)
+
+        async def run():
+            service = GenerationService(ServiceConfig())
+            await service.start()
+            gateway = await serve_http(service, "127.0.0.1", 0)
+            port = gateway.server.sockets[0].getsockname()[1]
+            responses = []
+            try:
+                for payload in _http_fuzz_payloads(rng, 40):
+                    responses.append(
+                        (payload, await _http_fuzz_round(port, payload))
+                    )
+                health = await _http_fuzz_round(
+                    port, b"GET /v1/healthz HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await gateway.close()
+                await service.stop()
+            return responses, health
+
+        responses, health = asyncio.run(run())
+        for payload, raw in responses:
+            if not raw:
+                continue  # clean close with no response: allowed
+            # A proper status line with a JSON body — never a traceback.
+            head, _, rest = raw.partition(b"\r\n")
+            assert head.startswith(b"HTTP/1.1 "), (payload, head)
+            status = int(head.split()[1])
+            assert 200 <= status <= 599
+            body = rest.split(b"\r\n\r\n", 1)[1]
+            parsed = json.loads(body)
+            assert isinstance(parsed, dict)
+            assert b"Traceback" not in raw
+        assert b"HTTP/1.1 200" in health
+
+    def test_gateway_under_injected_faults(self):
+        np = pytest.importorskip("numpy")
+        rng = np.random.default_rng(SEED + 3)
+        install_faults("model:raise@1")
+
+        async def run():
+            service = GenerationService(ServiceConfig())
+            await service.start()
+            gateway = await serve_http(service, "127.0.0.1", 0)
+            port = gateway.server.sockets[0].getsockname()[1]
+            try:
+                for payload in _http_fuzz_payloads(rng, 10):
+                    await _http_fuzz_round(port, payload)
+                return await _http_fuzz_round(
+                    port, b"GET /v1/healthz HTTP/1.1\r\n\r\n"
+                )
+            finally:
+                await gateway.close()
+                await service.stop()
+
+        try:
+            health = asyncio.run(run())
+        finally:
+            clear_faults()
+        assert b"HTTP/1.1 200" in health
